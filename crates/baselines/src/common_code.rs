@@ -1,0 +1,125 @@
+//! Baseline 1: a single network-wide spread code.
+//!
+//! The paper's introduction dismisses this design in one line — "the
+//! adversary can know the spread code after compromising any node" — and
+//! this module quantifies that single point of failure: discovery is
+//! perfect until the *first* node compromise, then collapses network-wide
+//! under reactive jamming.
+
+use jrsnd::jammer::JammerKind;
+use jrsnd::params::Params;
+use jrsnd_sim::rng::SimRng;
+use rand::Rng;
+
+/// The common-code scheme's analytic discovery probability under `q`
+/// compromised nodes.
+///
+/// Every pair shares the one code, so discovery is 1 when the code is
+/// secret. Any compromise (`q ≥ 1`) exposes it; a reactive jammer then
+/// kills every handshake, while a random jammer still hits with its
+/// per-message probabilities `β`/`β′` concentrated on a single known code
+/// (`c = 1`, so `β = β′ = 1` for any practical `z` — equally fatal).
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd::jammer::JammerKind;
+/// use jrsnd::params::Params;
+/// use jrsnd_baselines::common_code::p_discovery;
+///
+/// let p = Params::table1();
+/// assert_eq!(p_discovery(&p, 0, JammerKind::Reactive), 1.0);
+/// assert_eq!(p_discovery(&p, 1, JammerKind::Reactive), 0.0);
+/// ```
+pub fn p_discovery(params: &Params, q: usize, jammer: JammerKind) -> f64 {
+    if q == 0 || jammer == JammerKind::None {
+        return 1.0;
+    }
+    // c = 1 known code: beta = min(z(1+mu)/mu, 1) = 1 for z >= 1, so the
+    // random jammer is as lethal as the reactive one here.
+    let beta = (params.z as f64 * (1.0 + params.mu) / params.mu).min(1.0);
+    let beta_prime = (3.0 * params.z as f64 * (1.0 + params.mu) / params.mu).min(1.0);
+    match jammer {
+        JammerKind::None => 1.0,
+        JammerKind::Reactive | JammerKind::Sweep => 0.0,
+        JammerKind::Random => 1.0 - (beta + beta_prime - beta * beta_prime),
+        JammerKind::Pulsed { duty } => {
+            // Duty-cycled reactive against the single known code.
+            let d = duty.clamp(0.0, 1.0);
+            (1.0 - d) * (1.0 - d).powi(3)
+        }
+    }
+}
+
+/// Monte-Carlo estimate of the same quantity over `pairs` simulated
+/// handshakes (sanity-checks the analytic collapse).
+pub fn simulate(
+    params: &Params,
+    q: usize,
+    jammer: JammerKind,
+    pairs: usize,
+    rng: &mut SimRng,
+) -> f64 {
+    if pairs == 0 {
+        return 0.0;
+    }
+    let p = p_discovery(params, q, jammer);
+    let wins = (0..pairs).filter(|_| rng.gen_bool(p)).count();
+    wins as f64 / pairs as f64
+}
+
+/// DoS exposure: once compromised, the code is effectively public; every
+/// injected fake request reaches **all** `n − q` legitimate nodes with no
+/// revocation possible (revoking the only code bricks the network).
+pub fn dos_verifications(params: &Params, q: usize, injections: u64) -> u64 {
+    if q == 0 {
+        return 0;
+    }
+    injections * (params.n - q) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_until_first_compromise() {
+        let p = Params::table1();
+        assert_eq!(p_discovery(&p, 0, JammerKind::Reactive), 1.0);
+        for q in [1usize, 5, 100] {
+            assert_eq!(p_discovery(&p, q, JammerKind::Reactive), 0.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn random_jammer_equally_fatal_with_one_code() {
+        let p = Params::table1();
+        // z = 10 >> 1 known code: beta saturates.
+        assert_eq!(p_discovery(&p, 1, JammerKind::Random), 0.0);
+    }
+
+    #[test]
+    fn no_jammer_is_benign() {
+        let p = Params::table1();
+        assert_eq!(p_discovery(&p, 50, JammerKind::None), 1.0);
+    }
+
+    #[test]
+    fn simulation_matches_analysis() {
+        let p = Params::table1();
+        let mut rng = SimRng::seed_from_u64(1);
+        assert_eq!(simulate(&p, 0, JammerKind::Reactive, 500, &mut rng), 1.0);
+        assert_eq!(simulate(&p, 3, JammerKind::Reactive, 500, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn dos_has_no_cap() {
+        let p = Params::table1();
+        assert_eq!(dos_verifications(&p, 1, 0), 0);
+        let small = dos_verifications(&p, 1, 1_000);
+        let big = dos_verifications(&p, 1, 1_000_000);
+        assert_eq!(big, 1000 * small, "verifications scale linearly, unbounded");
+        assert_eq!(dos_verifications(&p, 0, 1_000_000), 0);
+    }
+}

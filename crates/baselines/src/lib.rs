@@ -1,0 +1,44 @@
+//! Baseline schemes JR-SND is argued against (Sections I, II, V-D).
+//!
+//! Reproducing the paper's comparison requires implementing the
+//! alternatives it dismisses:
+//!
+//! * [`common_code`] — one network-wide spread code: perfect until the
+//!   first node compromise, then a network-wide single point of failure;
+//! * [`pairwise`] — a unique code per pair: perfectly compromise-
+//!   resilient, but the receiver must scan `n − 1` codes, inflating the
+//!   discovery latency by orders of magnitude (the circular-dependency
+//!   problem, quantified);
+//! * [`ufh`] — Strasser-style Uncoordinated Frequency Hopping key
+//!   establishment \[3\]: works with no pre-shared secret but is slow and,
+//!   being a *public* strategy, exposes every node to unbounded
+//!   fake-request verification load;
+//! * [`udsss`] — Pöpper-style Uncoordinated DSSS broadcast \[7\]: a public
+//!   code set gives probabilistic jamming resistance that a reactive or
+//!   well-provisioned jammer erodes, again with unbounded DoS exposure;
+//! * [`dos`] — the head-to-head DoS table: JR-SND's revocation caps the
+//!   damage per compromised code at `≈ (l−1)γ` verifications while the
+//!   public baselines grow linearly with attacker effort.
+//!
+//! # Examples
+//!
+//! ```
+//! use jrsnd::jammer::JammerKind;
+//! use jrsnd::params::Params;
+//! use jrsnd_baselines::{common_code, pairwise};
+//!
+//! let p = Params::table1();
+//! // One compromise kills the common-code scheme outright...
+//! assert_eq!(common_code::p_discovery(&p, 1, JammerKind::Reactive), 0.0);
+//! // ...while pairwise codes survive but take minutes to discover.
+//! assert!(pairwise::discovery_latency(&p) > 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common_code;
+pub mod dos;
+pub mod pairwise;
+pub mod udsss;
+pub mod ufh;

@@ -1,0 +1,92 @@
+//! Baseline 2: a unique secret code per node pair.
+//!
+//! Perfectly compromise-resilient — exposing one node reveals only its own
+//! `n − 1` pairwise codes — but it recreates the circular dependency the
+//! paper opens with: before two nodes have discovered each other, the
+//! receiver does not know *which* of its `n − 1` pairwise codes an unknown
+//! neighbor will use, so its sliding-window scan must correlate every
+//! buffered chip position against all `n − 1` codes. The
+//! processing-to-buffering ratio λ (and with it the discovery latency)
+//! scales with `n` instead of `m`, which is what makes the scheme
+//! unusable at MANET scale.
+
+use jrsnd::params::Params;
+
+/// Jamming-resilient discovery probability: pairwise codes never collide
+/// with compromised ones (for non-compromised pairs), so discovery always
+/// succeeds *eventually* — resilience is not the problem.
+pub fn p_discovery(_params: &Params, _q: usize) -> f64 {
+    1.0
+}
+
+/// The Theorem 2 identification latency with the code multiplicity forced
+/// to `n − 1`: `ρ(n−1)(3(n−1)+4)N²l_h/2` seconds.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd::params::Params;
+/// use jrsnd_baselines::pairwise::discovery_latency;
+///
+/// let p = Params::table1();
+/// // ~660 s at n = 2000 — three orders of magnitude over JR-SND's < 2 s.
+/// let t = discovery_latency(&p);
+/// assert!(t > 100.0);
+/// ```
+pub fn discovery_latency(params: &Params) -> f64 {
+    let m_eff = (params.n - 1) as f64;
+    let n = params.n_chips as f64;
+    let ident = params.rho * m_eff * (3.0 * m_eff + 4.0) * n * n * params.l_h() as f64 / 2.0;
+    let auth = 2.0 * n * params.l_f() as f64 / params.chip_rate + 2.0 * params.t_key;
+    ident + auth
+}
+
+/// Storage per node in codes (each `N` chips): `n − 1` versus JR-SND's `m`.
+pub fn codes_per_node(params: &Params) -> usize {
+    params.n - 1
+}
+
+/// The latency ratio pairwise / JR-SND at the same parameters — the
+/// quantitative version of "not directly applicable".
+pub fn latency_ratio_vs_jrsnd(params: &Params) -> f64 {
+    discovery_latency(params) / jrsnd::analysis::dndp::t_dndp(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resilience_is_perfect() {
+        let p = Params::table1();
+        for q in [0usize, 10, 100, 1000] {
+            assert_eq!(p_discovery(&p, q), 1.0);
+        }
+    }
+
+    #[test]
+    fn latency_is_prohibitive_at_paper_scale() {
+        let p = Params::table1();
+        let t = discovery_latency(&p);
+        // rho*(1999)*(6001)*512^2*21 ~ 660 s.
+        assert!((400.0..1000.0).contains(&t), "t = {t}");
+        assert!(latency_ratio_vs_jrsnd(&p) > 100.0);
+    }
+
+    #[test]
+    fn latency_scales_quadratically_in_n() {
+        let mut p1 = Params::table1();
+        p1.n = 1000;
+        let mut p2 = Params::table1();
+        p2.n = 2000;
+        let ratio = discovery_latency(&p2) / discovery_latency(&p1);
+        assert!((3.5..4.5).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn storage_grows_with_network() {
+        let p = Params::table1();
+        assert_eq!(codes_per_node(&p), 1999);
+        assert!(codes_per_node(&p) > p.m * 10);
+    }
+}

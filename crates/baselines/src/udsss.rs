@@ -1,0 +1,176 @@
+//! Baseline 4: Uncoordinated DSSS broadcast (Pöpper, Strasser & Čapkun
+//! \[7\] — the paper's closest DSSS-based prior work).
+//!
+//! UDSSS removes pre-shared secrets by publishing a *public* code set of
+//! size `n_c`: the sender spreads each message with a randomly chosen
+//! public code; receivers buffer and trial-despread against the whole
+//! set. Jamming resistance is probabilistic — the jammer must guess the
+//! code among `n_c` — but, because the set is public, two structural
+//! weaknesses remain (Sections I–II of the JR-SND paper):
+//!
+//! 1. a jammer's `z` parallel signals cover a `z`-sized subset of a
+//!    *known, fixed* set, so its per-message hit rate is `z·(1+μ)/(n_c·μ)`
+//!    with no way to dilute it by compromising fewer nodes — and unlike
+//!    JR-SND there is nothing to revoke;
+//! 2. anyone can inject well-formed spread messages, so verification load
+//!    under fake-request flooding is unbounded.
+
+use jrsnd_sim::rng::SimRng;
+use rand::Rng;
+
+/// UDSSS system parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UdsssConfig {
+    /// Public code-set size `n_c`.
+    pub code_set_size: usize,
+    /// Jammer's parallel signals `z`.
+    pub z: usize,
+    /// ECC expansion factor μ (as in JR-SND, a message survives unless a
+    /// fraction ≥ μ/(1+μ) is jammed).
+    pub mu: f64,
+}
+
+impl UdsssConfig {
+    /// The published evaluation's ballpark: 200 public codes.
+    pub fn popper_like(z: usize) -> Self {
+        UdsssConfig {
+            code_set_size: 200,
+            z,
+            mu: 1.0,
+        }
+    }
+
+    /// Validates structural constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics when sizes are zero or μ is non-positive.
+    pub fn validate(&self) {
+        assert!(self.code_set_size > 0, "code set must be non-empty");
+        assert!(self.z > 0, "jammer has at least one transmitter");
+        assert!(self.mu > 0.0 && self.mu.is_finite(), "mu must be positive");
+    }
+
+    /// Per-message jam probability: the jammer blankets `z(1+μ)/μ` codes
+    /// drawn from the public set, `β = min{z(1+μ)/(n_c·μ), 1}`.
+    pub fn p_message_jammed(&self) -> f64 {
+        self.validate();
+        (self.z as f64 * (1.0 + self.mu) / (self.code_set_size as f64 * self.mu)).min(1.0)
+    }
+
+    /// Probability a 4-message discovery handshake (as in D-NDP) survives:
+    /// each message independently escapes with `1 − β`.
+    pub fn p_discovery(&self) -> f64 {
+        (1.0 - self.p_message_jammed()).powi(4)
+    }
+
+    /// Monte-Carlo check of [`UdsssConfig::p_discovery`].
+    pub fn simulate_discovery(&self, trials: usize, rng: &mut SimRng) -> f64 {
+        self.validate();
+        if trials == 0 {
+            return 0.0;
+        }
+        let beta = self.p_message_jammed();
+        let wins = (0..trials)
+            .filter(|_| (0..4).all(|_| !rng.gen_bool(beta)))
+            .count();
+        wins as f64 / trials as f64
+    }
+
+    /// Receiver trial-despreading ratio, the UDSSS analogue of JR-SND's
+    /// `λ = ρ·N·m·R` with `m` replaced by the public-set size.
+    pub fn lambda(&self, rho: f64, n_chips: usize, chip_rate: f64) -> f64 {
+        rho * n_chips as f64 * self.code_set_size as f64 * chip_rate
+    }
+
+    /// DoS exposure: fake messages spread with public codes are decoded
+    /// and verified by every listener; no revocation exists. Unbounded.
+    pub fn dos_verifications(&self, nodes: usize, injections: u64) -> u64 {
+        injections * nodes as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jrsnd::params::Params;
+    use rand::SeedableRng;
+
+    #[test]
+    fn jam_probability_shapes() {
+        let weak = UdsssConfig::popper_like(1);
+        let strong = UdsssConfig::popper_like(50);
+        assert!(weak.p_message_jammed() < strong.p_message_jammed());
+        // z = 100, n_c = 200, mu = 1: beta = 100*2/200 = 1 (saturated).
+        let saturated = UdsssConfig::popper_like(100);
+        assert_eq!(saturated.p_message_jammed(), 1.0);
+        assert_eq!(saturated.p_discovery(), 0.0);
+    }
+
+    #[test]
+    fn simulation_matches_analysis() {
+        let cfg = UdsssConfig::popper_like(10);
+        let mut rng = SimRng::seed_from_u64(1);
+        let measured = cfg.simulate_discovery(50_000, &mut rng);
+        let expect = cfg.p_discovery();
+        assert!(
+            (measured - expect).abs() < 0.01,
+            "measured {measured} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn jrsnd_beats_udsss_under_equal_adversary() {
+        // Same z = 10 jammer. UDSSS: every code is public (c = n_c = 200).
+        // JR-SND reactive bound at Table I (q = 20, codes secret unless
+        // compromised) still discovers ~73% directly and ~98% overall.
+        let udsss = UdsssConfig::popper_like(10);
+        let p = Params::table1();
+        let jrsnd_direct = jrsnd::analysis::dndp::p_dndp_lower(&p);
+        // UDSSS with a *random* jammer does fine (beta = 0.1)...
+        assert!(udsss.p_discovery() > 0.6);
+        // ...but a reactive jammer identifies the public code in use and
+        // kills every message: the public set gives no secrecy at all.
+        // (JR-SND's reactive-jamming bound stays high because only
+        // compromised codes are jammable.)
+        assert!(jrsnd_direct > 0.7);
+        // And scaling the jammer up: z = 60 saturates UDSSS below JR-SND.
+        let strong = UdsssConfig::popper_like(60);
+        assert!(strong.p_discovery() < 0.1);
+        let mut p_strong = p.clone();
+        p_strong.z = 60;
+        assert!(jrsnd::analysis::dndp::p_dndp_lower(&p_strong) > 0.7);
+    }
+
+    #[test]
+    fn receiver_cost_scales_with_public_set() {
+        let p = Params::table1();
+        let cfg = UdsssConfig::popper_like(10);
+        let lambda_udsss = cfg.lambda(p.rho, p.n_chips, p.chip_rate);
+        let lambda_jrsnd = p.schedule().lambda();
+        // 200 public codes vs m = 100 secret ones: twice the scan work.
+        assert!((lambda_udsss / lambda_jrsnd - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dos_is_unbounded() {
+        let cfg = UdsssConfig::popper_like(10);
+        assert_eq!(cfg.dos_verifications(2000, 5), 10_000);
+        assert_eq!(
+            cfg.dos_verifications(2000, 5_000_000),
+            10_000_000_000,
+            "linear forever"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "code set must be non-empty")]
+    fn empty_code_set_rejected() {
+        UdsssConfig {
+            code_set_size: 0,
+            z: 1,
+            mu: 1.0,
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,35 @@
+//! Closed-form analysis benchmarks: the Theorem 1–4 evaluations are used
+//! inside sweep loops and must stay trivially cheap.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use jrsnd::analysis::{dndp, mndp, predist};
+use jrsnd::params::Params;
+
+fn bench_formulas(c: &mut Criterion) {
+    let p = Params::table1();
+    c.bench_function("alpha_eq2", |b| b.iter(|| black_box(predist::alpha(&p))));
+    c.bench_function("pr_share_exactly_sum", |b| {
+        b.iter(|| {
+            let s: f64 = (0..=p.m).map(|x| predist::pr_share_exactly(&p, x)).sum();
+            black_box(s)
+        })
+    });
+    c.bench_function("theorem1_lower", |b| {
+        b.iter(|| black_box(dndp::p_dndp_lower(&p)))
+    });
+    c.bench_function("theorem1_upper", |b| {
+        b.iter(|| black_box(dndp::p_dndp_upper(&p)))
+    });
+    c.bench_function("theorem2_latency", |b| {
+        b.iter(|| black_box(dndp::t_dndp(&p)))
+    });
+    c.bench_function("theorem3_bound", |b| {
+        b.iter(|| black_box(mndp::p_mndp_two_hop(0.73, 22.6)))
+    });
+    c.bench_function("theorem4_latency_nu6", |b| {
+        b.iter(|| black_box(mndp::t_mndp(&p, 6, 22.6)))
+    });
+}
+
+criterion_group!(benches, bench_formulas);
+criterion_main!(benches);

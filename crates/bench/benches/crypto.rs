@@ -1,0 +1,70 @@
+//! Cryptographic primitive benchmarks: hashing, MACs, the simulated IBC
+//! operations, and the session spread-code derivation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use jrsnd_crypto::hmac::hmac_sha256;
+use jrsnd_crypto::ibc::{Authority, NodeId};
+use jrsnd_crypto::nonce::Nonce;
+use jrsnd_crypto::session::derive_session_code;
+use jrsnd_crypto::sha256::sha256;
+
+fn bench_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| b.iter(|| black_box(sha256(&data))));
+    }
+    group.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let data = vec![0xCDu8; 256];
+    c.bench_function("hmac_sha256_256B", |b| {
+        b.iter(|| black_box(hmac_sha256(b"key material", &data)))
+    });
+}
+
+fn bench_ibc(c: &mut Criterion) {
+    let authority = Authority::from_seed(b"bench");
+    let key = authority.issue(NodeId(1));
+    let mut group = c.benchmark_group("ibc");
+    group.bench_function("issue", |b| {
+        b.iter(|| black_box(authority.issue(NodeId(7))))
+    });
+    group.bench_function("shared_key", |b| {
+        b.iter(|| black_box(key.shared_key(NodeId(2))))
+    });
+    let msg = vec![0u8; 200];
+    group.bench_function("sign", |b| b.iter(|| black_box(key.sign(&msg))));
+    let sig = key.sign(&msg);
+    let verifier = authority.verifier();
+    group.bench_function("verify", |b| {
+        b.iter(|| black_box(verifier.verify(&msg, &sig)))
+    });
+    group.finish();
+}
+
+fn bench_session_code(c: &mut Criterion) {
+    let authority = Authority::from_seed(b"bench");
+    let key = authority.issue(NodeId(1)).shared_key(NodeId(2));
+    c.bench_function("derive_session_code_512chips", |b| {
+        b.iter(|| {
+            black_box(derive_session_code(
+                &key,
+                Nonce::from_value(0xAAAA),
+                Nonce::from_value(0x5555),
+                512,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hash,
+    bench_hmac,
+    bench_ibc,
+    bench_session_code
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! DSSS micro-benchmarks: the bit-packed correlator (and its naive
+//! baseline — the ablation justifying the representation), spreading, and
+//! the sliding-window scan whose cost is the paper's ρ.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jrsnd_dsss::chip::ChipSeq;
+use jrsnd_dsss::code::SpreadCode;
+use jrsnd_dsss::spread::{correlate_window, despread_levels, spread};
+use jrsnd_dsss::sync::scan;
+use rand::{Rng, SeedableRng};
+
+fn naive_correlate(a: &[bool], b: &[bool]) -> f64 {
+    let acc: i64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| if x == y { 1i64 } else { -1 })
+        .sum();
+    acc as f64 / a.len() as f64
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("correlation");
+    for n in [128usize, 512, 2048] {
+        let bits_a: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        let bits_b: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        let a = ChipSeq::from_bits(&bits_a);
+        let b = ChipSeq::from_bits(&bits_b);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("packed", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.correlate(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| black_box(naive_correlate(&bits_a, &bits_b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_spread_despread(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let code = SpreadCode::random(512, &mut rng);
+    let msg: Vec<bool> = (0..42).map(|i| i % 2 == 0).collect(); // one l_h HELLO
+    let levels = spread(&msg, &code).to_levels();
+    let mut group = c.benchmark_group("spread");
+    group.bench_function("spread_hello_42bits_n512", |b| {
+        b.iter(|| black_box(spread(&msg, &code)))
+    });
+    group.bench_function("despread_hello_42bits_n512", |b| {
+        b.iter(|| black_box(despread_levels(&levels, &code, 0.15)))
+    });
+    group.bench_function("correlate_window_n512", |b| {
+        b.iter(|| black_box(correlate_window(&levels[..512], &code)))
+    });
+    group.finish();
+}
+
+fn bench_sliding_scan(c: &mut Criterion) {
+    // The receiver-side cost model: scanning a buffer against m codes.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let codes: Vec<SpreadCode> = (0..8).map(|_| SpreadCode::random(512, &mut rng)).collect();
+    let refs: Vec<&SpreadCode> = codes.iter().collect();
+    let msg = vec![true, false, true];
+    let mut samples = vec![0i32; 2000];
+    samples.extend(spread(&msg, &codes[5]).to_levels());
+    let mut group = c.benchmark_group("sliding_scan");
+    group.bench_function("scan_2000_offsets_8_codes_n512", |b| {
+        b.iter(|| black_box(scan(&samples, &refs, 0.15)))
+    });
+    group.finish();
+}
+
+fn bench_gold_codes(c: &mut Criterion) {
+    use jrsnd_dsss::gold::GoldFamily;
+    let mut group = c.benchmark_group("gold");
+    group.bench_function("family_degree9_construction", |b| {
+        b.iter(|| black_box(GoldFamily::degree9()))
+    });
+    let fam = GoldFamily::degree9();
+    group.bench_function("code_materialisation", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % fam.len();
+            black_box(fam.code(i))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_correlation,
+    bench_spread_despread,
+    bench_sliding_scan,
+    bench_gold_codes
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Reed–Solomon and μ-expansion codec benchmarks at the message shapes
+//! the protocol actually uses (HELLO = 21 bits, AUTH = 80 bits, M-NDP
+//! request ≈ 1 kbit).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use jrsnd_ecc::expand::ExpansionCode;
+use jrsnd_ecc::rs::RsCode;
+use rand::{Rng, SeedableRng};
+
+fn bench_rs(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("reed_solomon");
+    for (n, k) in [(12usize, 6usize), (40, 20), (255, 127)] {
+        let code = RsCode::new(n, k).unwrap();
+        let data: Vec<u8> = (0..k).map(|_| rng.gen()).collect();
+        let clean = code.encode(&data).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("encode", format!("{n}/{k}")),
+            &k,
+            |b, _| b.iter(|| black_box(code.encode(&data).unwrap())),
+        );
+        // Worst-case decode: t errors present.
+        let mut corrupted = clean.clone();
+        for i in 0..code.t() {
+            corrupted[i * 2] ^= 0x5A;
+        }
+        group.bench_with_input(
+            BenchmarkId::new("decode_t_errors", format!("{n}/{k}")),
+            &k,
+            |b, _| {
+                b.iter(|| {
+                    let mut buf = corrupted.clone();
+                    black_box(code.decode(&mut buf, &[]).unwrap())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode_clean", format!("{n}/{k}")),
+            &k,
+            |b, _| {
+                b.iter(|| {
+                    let mut buf = clean.clone();
+                    black_box(code.decode(&mut buf, &[]).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_expansion(c: &mut Criterion) {
+    let code = ExpansionCode::new(1.0).unwrap();
+    let mut group = c.benchmark_group("mu_expansion");
+    for (name, bits) in [
+        ("hello_21b", 21usize),
+        ("auth_80b", 80),
+        ("mndp_req_1072b", 1072),
+    ] {
+        let msg: Vec<bool> = (0..bits).map(|i| i % 3 == 0).collect();
+        let coded = code.encode_bits(&msg).unwrap();
+        let mut erased = vec![false; coded.len()];
+        for e in erased.iter_mut().take(coded.len() * 2 / 5) {
+            *e = true;
+        }
+        group.bench_function(BenchmarkId::new("encode", name), |b| {
+            b.iter(|| black_box(code.encode_bits(&msg).unwrap()))
+        });
+        group.bench_function(BenchmarkId::new("decode_40pct_erased", name), |b| {
+            b.iter(|| black_box(code.decode_bits(&coded, &erased, bits).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rs, bench_expansion);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Pre-distribution benchmarks: generating the paper-scale assignment and
+//! the per-pair shared-code query that dominates the network simulation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use jrsnd::params::Params;
+use jrsnd::predist::CodeAssignment;
+use jrsnd_sim::rng::SimRng;
+use rand::SeedableRng;
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predist_generate");
+    group.sample_size(10);
+    for (n, l, m) in [(500usize, 20usize, 50usize), (2000, 40, 100)] {
+        let mut p = Params::table1();
+        p.n = n;
+        p.l = l;
+        p.m = m;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_l{l}_m{m}")),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    let mut rng = SimRng::seed_from_u64(1);
+                    black_box(CodeAssignment::generate(p, &mut rng))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_shared_codes(c: &mut Criterion) {
+    let p = Params::table1();
+    let mut rng = SimRng::seed_from_u64(2);
+    let a = CodeAssignment::generate(&p, &mut rng);
+    c.bench_function("shared_codes_m100", |b| {
+        let mut u = 0usize;
+        b.iter(|| {
+            u = (u + 7) % 1000;
+            black_box(a.shared_codes(u, u + 500))
+        })
+    });
+}
+
+criterion_group!(benches, bench_generate, bench_shared_codes);
+criterion_main!(benches);

@@ -1,0 +1,185 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [EXPERIMENT]... [--reps N] [--seed S] [--quick] [--csv DIR]
+//!
+//! EXPERIMENT: table1 fig2a fig2b fig3a fig3b fig4a fig4b fig5a fig5b
+//!             theory dos baselines ablation-redundancy ablation-gamma
+//!             ablation-predist multiantenna jammers timeline all
+//!             (default: all)
+//! --reps N    Monte-Carlo repetitions per point (default 20; paper: 100)
+//! --seed S    base RNG seed (default 2011)
+//! --quick     shrink the network for a fast smoke run
+//! --csv DIR   also write each experiment's table as DIR/<name>.csv
+//! ```
+
+use jrsnd_bench::{
+    ablation_gamma, ablation_predist, ablation_redundancy, baselines, dos, fig2a, fig2b, fig3a,
+    fig3b, fig4, fig5a, fig5b, jammers, multiantenna, table1, theory, timeline_experiment,
+    FigureOutput, Scale,
+};
+use std::io::Write;
+
+struct Options {
+    experiments: Vec<String>,
+    reps: usize,
+    seed: u64,
+    scale: Scale,
+    csv_dir: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut experiments = Vec::new();
+    let mut reps = 20usize;
+    let mut seed = 2011u64;
+    let mut scale = Scale::Full;
+    let mut csv_dir = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--reps" => {
+                let v = args.next().ok_or("--reps needs a value")?;
+                reps = v.parse().map_err(|_| format!("bad --reps value `{v}`"))?;
+                if reps == 0 {
+                    return Err("--reps must be positive".into());
+                }
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad --seed value `{v}`"))?;
+            }
+            "--quick" => scale = Scale::Quick,
+            "--csv" => {
+                let v = args.next().ok_or("--csv needs a directory")?;
+                csv_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            name => experiments.push(name.to_string()),
+        }
+    }
+    if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
+        experiments = [
+            "table1",
+            "fig2a",
+            "fig2b",
+            "fig3a",
+            "fig3b",
+            "fig4a",
+            "fig4b",
+            "fig5a",
+            "fig5b",
+            "theory",
+            "dos",
+            "baselines",
+            "ablation-redundancy",
+            "ablation-gamma",
+            "ablation-predist",
+            "multiantenna",
+            "jammers",
+            "timeline",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    Ok(Options {
+        experiments,
+        reps,
+        seed,
+        scale,
+        csv_dir,
+    })
+}
+
+const HELP: &str = "repro — regenerate the JR-SND paper's tables and figures
+usage: repro [EXPERIMENT]... [--reps N] [--seed S] [--quick] [--csv DIR]
+experiments: table1 fig2a fig2b fig3a fig3b fig4a fig4b fig5a fig5b theory dos
+             baselines ablation-redundancy ablation-gamma ablation-predist
+             multiantenna jammers timeline all";
+
+fn run_one(name: &str, opts: &Options) -> Result<FigureOutput, String> {
+    let (reps, seed, scale) = (opts.reps, opts.seed, opts.scale);
+    Ok(match name {
+        "table1" => table1(),
+        "fig2a" => fig2a(reps, seed, scale),
+        "fig2b" => fig2b(reps, seed, scale),
+        "fig3a" => fig3a(reps, seed, scale),
+        "fig3b" => fig3b(reps, seed, scale),
+        "fig4a" => fig4(40, reps, seed, scale),
+        "fig4b" => fig4(20, reps, seed, scale),
+        "fig5a" => fig5a(reps, seed, scale),
+        "fig5b" => fig5b(reps, seed, scale),
+        "theory" => theory(reps, seed, scale),
+        "dos" => dos(scale),
+        "baselines" => baselines(),
+        "ablation-redundancy" => ablation_redundancy(reps, seed),
+        "ablation-gamma" => ablation_gamma(seed),
+        "ablation-predist" => ablation_predist(seed),
+        "multiantenna" => multiantenna(),
+        "jammers" => jammers(reps, seed, scale),
+        "timeline" => timeline_experiment(seed),
+        other => return Err(format!("unknown experiment `{other}` (see --help)")),
+    })
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{HELP}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(dir) = &opts.csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "JR-SND reproduction — scale: {:?}, reps/point: {}, seed: {}\n",
+        opts.scale, opts.reps, opts.seed
+    );
+    for name in &opts.experiments {
+        let started = std::time::Instant::now();
+        match run_one(name, &opts) {
+            Ok(fig) => {
+                println!("{}", fig.render());
+                println!("  [{name} took {:.1?}]\n", started.elapsed());
+                if let Some(dir) = &opts.csv_dir {
+                    let path = dir.join(format!("{name}.csv"));
+                    match std::fs::File::create(&path)
+                        .and_then(|mut f| f.write_all(fig.to_csv().as_bytes()))
+                    {
+                        Ok(()) => println!("  wrote {}", path.display()),
+                        Err(e) => eprintln!("  warning: could not write {}: {e}", path.display()),
+                    }
+                    if let Some(chart) = &fig.chart {
+                        let svg_path = dir.join(format!("{name}.svg"));
+                        let rendered = jrsnd_bench::svg::render_chart(chart, &fig.series);
+                        match std::fs::File::create(&svg_path)
+                            .and_then(|mut f| f.write_all(rendered.as_bytes()))
+                        {
+                            Ok(()) => println!("  wrote {}\n", svg_path.display()),
+                            Err(e) => {
+                                eprintln!("  warning: could not write {}: {e}", svg_path.display())
+                            }
+                        }
+                    } else {
+                        println!();
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

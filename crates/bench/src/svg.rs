@@ -1,0 +1,329 @@
+//! A small dependency-free SVG line-chart renderer, so `repro --csv DIR`
+//! can also emit `DIR/<figure>.svg` files that look like the paper's
+//! plots (series over a swept parameter, with error bars from the
+//! per-point confidence intervals).
+
+use jrsnd_sim::stats::Series;
+use std::fmt::Write as _;
+
+/// Chart geometry and labels.
+#[derive(Debug, Clone)]
+pub struct ChartSpec {
+    /// Title above the plot.
+    pub title: String,
+    /// X-axis label (the swept parameter).
+    pub x_label: String,
+    /// Y-axis label (the metric).
+    pub y_label: String,
+    /// Total width in pixels.
+    pub width: u32,
+    /// Total height in pixels.
+    pub height: u32,
+    /// Clamp the y-axis to [0, 1] (probability plots).
+    pub unit_y: bool,
+}
+
+impl ChartSpec {
+    /// A 640×420 probability chart.
+    pub fn probability(title: &str, x_label: &str) -> Self {
+        ChartSpec {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: "probability".to_string(),
+            width: 640,
+            height: 420,
+            unit_y: true,
+        }
+    }
+
+    /// A 640×420 free-range chart (latencies etc.).
+    pub fn metric(title: &str, x_label: &str, y_label: &str) -> Self {
+        ChartSpec {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            width: 640,
+            height: 420,
+            unit_y: false,
+        }
+    }
+}
+
+const PALETTE: [&str; 6] = [
+    "#1b6ca8", "#c0392b", "#27803b", "#8e44ad", "#b8860b", "#444444",
+];
+const MARGIN_L: f64 = 62.0;
+const MARGIN_R: f64 = 16.0;
+const MARGIN_T: f64 = 36.0;
+const MARGIN_B: f64 = 46.0;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Renders the series as an SVG document.
+///
+/// Returns a self-contained `<svg>` string. Empty input renders an empty
+/// chart frame (never panics on data shape).
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_bench::svg::{render_chart, ChartSpec};
+/// use jrsnd_sim::stats::Series;
+///
+/// let mut s = Series::new("P(D-NDP)");
+/// s.push_exact(20.0, 0.23);
+/// s.push_exact(100.0, 0.72);
+/// let svg = render_chart(&ChartSpec::probability("Fig. 2(a)", "m"), &[s]);
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("P(D-NDP)"));
+/// ```
+pub fn render_chart(spec: &ChartSpec, series: &[Series]) -> String {
+    let w = f64::from(spec.width);
+    let h = f64::from(spec.height);
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let plot_h = h - MARGIN_T - MARGIN_B;
+
+    // Data ranges.
+    let xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.x))
+        .collect();
+    let ys: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().flat_map(|p| [p.y - p.ci, p.y + p.ci]))
+        .collect();
+    let (x_min, x_max) = match (
+        xs.iter().cloned().reduce(f64::min),
+        xs.iter().cloned().reduce(f64::max),
+    ) {
+        (Some(a), Some(b)) if a < b => (a, b),
+        (Some(a), Some(_)) => (a - 0.5, a + 0.5),
+        _ => (0.0, 1.0),
+    };
+    let (y_min, y_max) = if spec.unit_y {
+        (0.0, 1.0)
+    } else {
+        match (
+            ys.iter().cloned().reduce(f64::min),
+            ys.iter().cloned().reduce(f64::max),
+        ) {
+            (Some(a), Some(b)) if a < b => {
+                let pad = (b - a) * 0.08;
+                ((a - pad).min(0.0).max(a - pad), b + pad)
+            }
+            (Some(a), Some(_)) => (a - 0.5, a + 0.5),
+            _ => (0.0, 1.0),
+        }
+    };
+    let sx = move |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min) * plot_w;
+    let sy = move |y: f64| MARGIN_T + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h;
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {w} {h}" font-family="Helvetica,Arial,sans-serif">"##,
+        spec.width, spec.height
+    );
+    let _ = write!(out, r##"<rect width="{w}" height="{h}" fill="white"/>"##);
+    // Frame.
+    let _ = write!(
+        out,
+        r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#333" stroke-width="1"/>"##
+    );
+    // Title and axis labels.
+    let _ = write!(
+        out,
+        r##"<text x="{}" y="22" text-anchor="middle" font-size="15" fill="#111">{}</text>"##,
+        w / 2.0,
+        esc(&spec.title)
+    );
+    let _ = write!(
+        out,
+        r##"<text x="{}" y="{}" text-anchor="middle" font-size="12" fill="#111">{}</text>"##,
+        MARGIN_L + plot_w / 2.0,
+        h - 10.0,
+        esc(&spec.x_label)
+    );
+    let _ = write!(
+        out,
+        r##"<text x="16" y="{}" text-anchor="middle" font-size="12" fill="#111" transform="rotate(-90 16 {})">{}</text>"##,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        esc(&spec.y_label)
+    );
+    // Ticks: 5 on each axis.
+    for i in 0..=5 {
+        let fx = x_min + (x_max - x_min) * f64::from(i) / 5.0;
+        let px = sx(fx);
+        let _ = write!(
+            out,
+            r##"<line x1="{px}" y1="{}" x2="{px}" y2="{}" stroke="#333"/>"##,
+            MARGIN_T + plot_h,
+            MARGIN_T + plot_h + 4.0
+        );
+        let _ = write!(
+            out,
+            r##"<text x="{px}" y="{}" text-anchor="middle" font-size="10" fill="#111">{}</text>"##,
+            MARGIN_T + plot_h + 16.0,
+            format_tick(fx)
+        );
+        let fy = y_min + (y_max - y_min) * f64::from(i) / 5.0;
+        let py = sy(fy);
+        let _ = write!(
+            out,
+            r##"<line x1="{}" y1="{py}" x2="{MARGIN_L}" y2="{py}" stroke="#333"/>"##,
+            MARGIN_L - 4.0
+        );
+        let _ = write!(
+            out,
+            r##"<text x="{}" y="{}" text-anchor="end" font-size="10" fill="#111">{}</text>"##,
+            MARGIN_L - 7.0,
+            py + 3.5,
+            format_tick(fy)
+        );
+        // Light gridline.
+        if i > 0 && i < 5 {
+            let _ = write!(
+                out,
+                r##"<line x1="{MARGIN_L}" y1="{py}" x2="{}" y2="{py}" stroke="#ddd" stroke-width="0.6"/>"##,
+                MARGIN_L + plot_w
+            );
+        }
+    }
+    // Series.
+    for (si, s) in series.iter().enumerate() {
+        let color = PALETTE[si % PALETTE.len()];
+        // Error bars.
+        for p in &s.points {
+            if p.ci > 0.0 {
+                let px = sx(p.x);
+                let _ = write!(
+                    out,
+                    r##"<line x1="{px}" y1="{}" x2="{px}" y2="{}" stroke="{color}" stroke-width="1" opacity="0.7"/>"##,
+                    sy(p.y - p.ci),
+                    sy(p.y + p.ci)
+                );
+            }
+        }
+        // Polyline.
+        if !s.points.is_empty() {
+            let pts: Vec<String> = s
+                .points
+                .iter()
+                .map(|p| format!("{:.1},{:.1}", sx(p.x), sy(p.y)))
+                .collect();
+            let _ = write!(
+                out,
+                r##"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"##,
+                pts.join(" ")
+            );
+            for p in &s.points {
+                let _ = write!(
+                    out,
+                    r##"<circle cx="{:.1}" cy="{:.1}" r="2.6" fill="{color}"/>"##,
+                    sx(p.x),
+                    sy(p.y)
+                );
+            }
+        }
+        // Legend.
+        let ly = MARGIN_T + 14.0 + 16.0 * si as f64;
+        let _ = write!(
+            out,
+            r##"<line x1="{}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"##,
+            MARGIN_L + 10.0,
+            MARGIN_L + 34.0
+        );
+        let _ = write!(
+            out,
+            r##"<text x="{}" y="{}" font-size="11" fill="#111">{}</text>"##,
+            MARGIN_L + 40.0,
+            ly + 3.5,
+            esc(&s.name)
+        );
+    }
+    out.push_str("</svg>");
+    out
+}
+
+fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 10.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Series> {
+        let mut a = Series::new("P(D-NDP)");
+        let mut b = Series::new("P(JR-SND)");
+        for (x, y) in [(20.0, 0.23), (100.0, 0.72), (200.0, 0.91)] {
+            a.push_exact(x, y);
+            b.push_exact(x, (y + 1.0) / 2.0);
+        }
+        a.points[1].ci = 0.05;
+        vec![a, b]
+    }
+
+    #[test]
+    fn svg_structure_is_well_formed() {
+        let svg = render_chart(&ChartSpec::probability("Fig. 2(a)", "m"), &sample());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2, "one line per series");
+        assert!(svg.contains("Fig. 2(a)"));
+        assert!(svg.contains("P(D-NDP)") && svg.contains("P(JR-SND)"));
+        // Error bar for the point with ci > 0.
+        assert!(svg.contains(r##"opacity="0.7""##));
+        // 6 circles (3 points x 2 series).
+        assert_eq!(svg.matches("<circle").count(), 6);
+    }
+
+    #[test]
+    fn coordinates_are_monotone_in_data() {
+        let spec = ChartSpec::probability("t", "x");
+        let mut s = Series::new("s");
+        s.push_exact(0.0, 0.0);
+        s.push_exact(10.0, 1.0);
+        let svg = render_chart(&spec, &[s]);
+        // The y=1.0 point must be drawn above (smaller py) than y=0.0.
+        let circles: Vec<&str> = svg.split("<circle").skip(1).collect();
+        let cy = |c: &str| -> f64 {
+            let i = c.find("cy=\"").unwrap() + 4;
+            let j = c[i..].find('"').unwrap();
+            c[i..i + j].parse().unwrap()
+        };
+        assert!(cy(circles[1]) < cy(circles[0]));
+    }
+
+    #[test]
+    fn empty_and_single_point_inputs_are_safe() {
+        let spec = ChartSpec::metric("empty", "x", "y");
+        let svg = render_chart(&spec, &[]);
+        assert!(svg.contains("</svg>"));
+        let mut s = Series::new("one");
+        s.push_exact(5.0, 2.5);
+        let svg = render_chart(&spec, &[s]);
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let spec = ChartSpec::metric("a < b & c", "x<y", "z>w");
+        let svg = render_chart(&spec, &[]);
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(!svg.contains("a < b & c"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Closed-form analysis of M-NDP (Theorems 3 and 4).
+//!
+//! Theorem 3 (ν = 2): two physical neighbors that failed D-NDP still
+//! discover each other through a common logical neighbor with probability
+//! `P̂_M ≥ 1 − (1 − P̂_D²)^{g(1−3√3/(4π)) − 1}`.
+//!
+//! Theorem 4: the ν-hop M-NDP latency
+//! `T̄_M = T_ν + 2ν(ν+1)t_ver + 2ν·t_sig`, with
+//! `T_ν = N/R · (3ν(ν+1)/2 · ((g+1)l_id + 2l_sig) + 2ν(l_n + l_ν))`.
+
+use crate::params::Params;
+use jrsnd_sim::geom::lens_overlap_factor;
+
+/// Theorem 3: lower bound on the 2-hop M-NDP discovery probability given
+/// the direct-discovery probability `p_d` and mean degree `g`.
+///
+/// The exponent `g(1−3√3/(4π)) − 1` is the expected number of common
+/// physical neighbors; it is clamped at zero for sparse networks.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd::analysis::mndp::p_mndp_two_hop;
+///
+/// // Dense network, strong D-NDP: M-NDP nearly always rescues the pair.
+/// let p = p_mndp_two_hop(0.73, 22.6);
+/// assert!(p > 0.999);
+/// // Weak D-NDP leaves room: P_D = 0.2 => P_M ~ 1-(1-0.04)^12.3 ~ 0.39.
+/// let p = p_mndp_two_hop(0.2, 22.6);
+/// assert!((0.3..0.5).contains(&p));
+/// ```
+pub fn p_mndp_two_hop(p_d: f64, g: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p_d), "p_d out of range: {p_d}");
+    assert!(g >= 0.0, "degree must be non-negative");
+    let exponent = (g * lens_overlap_factor() - 1.0).max(0.0);
+    1.0 - (1.0 - p_d * p_d).powf(exponent)
+}
+
+/// A numerical approximation of the ν-hop M-NDP discovery probability —
+/// the quantity the paper states it "ha\[s\] not been able to give a
+/// closed-form solution" for when `ν ≥ 3` (Section VI-A3) and evaluates
+/// only by simulation (Fig. 5a).
+///
+/// Model: grow a branching reachability process over the logical graph.
+/// Let `R_k` be the probability that a *random node in A's
+/// k-hop-candidate shell* is within `k` logical hops of A:
+///
+/// * `R_1 = P̂_D` (a direct logical link);
+/// * `R_k = 1 − (1 − R_{k−1}·P̂_D)^{b}` — the node escapes level `k` only
+///   if every one of its `b` expected common-neighborhood peers fails to
+///   be both at level `k−1` and logically linked to it; `b` is the
+///   Theorem 3 common-neighbor count `g·(1 − 3√3/4π) − 1`.
+///
+/// The pair (A, B) then discovers via M-NDP with probability `R_ν`
+/// evaluated at B. This is a tree (independence) approximation — it
+/// ignores cycle correlations, so it overshoots slightly at mid-range
+/// P̂_D — but it reproduces the Fig. 5(a) saturation shape and is exact
+/// for ν = 2 by construction. Validated against the simulator in
+/// `tests/theory_vs_sim.rs`.
+pub fn p_mndp_multi_hop_approx(p_d: f64, g: f64, nu: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&p_d), "p_d out of range: {p_d}");
+    assert!(g >= 0.0, "degree must be non-negative");
+    assert!(nu >= 1, "nu must be at least 1");
+    if nu == 1 {
+        // "Multi-hop" with one hop is just the direct link, which by
+        // definition already failed for the pairs M-NDP serves.
+        return 0.0;
+    }
+    let b = (g * lens_overlap_factor() - 1.0).max(0.0);
+    let mut r = p_d; // R_1
+    for _ in 2..=nu {
+        r = 1.0 - (1.0 - r * p_d).powf(b);
+    }
+    r
+}
+
+/// Theorem 3 instantiated from [`Params`] with the analytic `g` and the
+/// Theorem 1 reactive-jamming `P̂_D`.
+pub fn p_mndp_two_hop_from_params(params: &Params) -> f64 {
+    let p_d = crate::analysis::dndp::p_dndp_lower(params);
+    p_mndp_two_hop(p_d, params.expected_degree())
+}
+
+/// Combined JR-SND discovery probability
+/// `P̂ = P̂_D + (1 − P̂_D)·P̂_M`.
+pub fn p_jrsnd(p_d: f64, p_m: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p_d) && (0.0..=1.0).contains(&p_m));
+    p_d + (1.0 - p_d) * p_m
+}
+
+/// Theorem 4 transmission component
+/// `T_ν = N/R · (3ν(ν+1)/2 · ((g+1)l_id + 2l_sig) + 2ν(l_n + l_ν))`.
+pub fn t_nu(params: &Params, nu: usize, g: f64) -> f64 {
+    let n_over_r = params.n_chips as f64 / params.chip_rate;
+    let nu_f = nu as f64;
+    let per_hop_payload = (g + 1.0) * params.l_id as f64 + 2.0 * params.l_sig as f64;
+    n_over_r
+        * (3.0 * nu_f * (nu_f + 1.0) / 2.0 * per_hop_payload
+            + 2.0 * nu_f * (params.l_n + params.l_nu) as f64)
+}
+
+/// Theorem 4: average ν-hop M-NDP latency
+/// `T̄_M = T_ν + 2ν(ν+1)·t_ver + 2ν·t_sig` in seconds.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd::analysis::mndp::t_mndp;
+/// use jrsnd::params::Params;
+///
+/// let p = Params::table1();
+/// let g = p.expected_degree();
+/// // Fig. 5(b): about 4 seconds at nu = 6.
+/// let t6 = t_mndp(&p, 6, g);
+/// assert!((2.5..6.0).contains(&t6), "T_M(6) = {t6}");
+/// ```
+pub fn t_mndp(params: &Params, nu: usize, g: f64) -> f64 {
+    assert!(nu >= 1, "nu must be at least 1");
+    let nu_f = nu as f64;
+    t_nu(params, nu, g) + 2.0 * nu_f * (nu_f + 1.0) * params.t_ver + 2.0 * nu_f * params.t_sig
+}
+
+/// [`t_mndp`] at the parameter set's own ν and analytic degree.
+pub fn t_mndp_from_params(params: &Params) -> f64 {
+    t_mndp(params, params.nu, params.expected_degree())
+}
+
+/// Combined JR-SND latency `T̄ = max(T̄_D, T̄_M)` (Section VI-A3).
+pub fn t_jrsnd(params: &Params) -> f64 {
+    crate::analysis::dndp::t_dndp(params).max(t_mndp_from_params(params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem3_exponent_matches_paper_constant() {
+        // g(1 - 3*sqrt(3)/(4*pi)) - 1 with g = 22.62 ~ 12.27.
+        let g = Params::table1().expected_degree();
+        let exponent = g * lens_overlap_factor() - 1.0;
+        assert!((12.0..12.6).contains(&exponent), "exponent = {exponent}");
+    }
+
+    #[test]
+    fn p_mndp_limits() {
+        assert_eq!(p_mndp_two_hop(0.0, 22.6), 0.0);
+        assert!((p_mndp_two_hop(1.0, 22.6) - 1.0).abs() < 1e-12);
+        // Degenerate degree: exponent clamps to 0, so bound is 0.
+        assert_eq!(p_mndp_two_hop(0.9, 0.0), 0.0);
+        assert_eq!(p_mndp_two_hop(0.9, 1.0), 0.0);
+    }
+
+    #[test]
+    fn p_mndp_monotone_in_both_arguments() {
+        let mut last = 0.0;
+        for pd10 in 0..=10 {
+            let v = p_mndp_two_hop(f64::from(pd10) / 10.0, 22.6);
+            assert!(v >= last - 1e-12);
+            last = v;
+        }
+        let mut last = 0.0;
+        for g in [2.0, 5.0, 10.0, 22.6, 50.0] {
+            let v = p_mndp_two_hop(0.5, g);
+            assert!(v >= last - 1e-12);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn multi_hop_approx_reduces_to_theorem3_at_nu2() {
+        for (pd, g) in [(0.2, 22.6), (0.5, 22.6), (0.73, 15.0)] {
+            let a = p_mndp_multi_hop_approx(pd, g, 2);
+            let t = p_mndp_two_hop(pd, g);
+            assert!((a - t).abs() < 1e-12, "pd={pd}, g={g}: {a} vs {t}");
+        }
+    }
+
+    #[test]
+    fn multi_hop_approx_is_monotone_and_saturates() {
+        let mut last = 0.0;
+        for nu in 1..=10 {
+            let v = p_mndp_multi_hop_approx(0.2, 22.6, nu);
+            assert!(v >= last - 1e-12, "nu={nu}");
+            assert!((0.0..=1.0).contains(&v));
+            last = v;
+        }
+        // Fig. 5(a) shape: most of the gain arrives by nu ~ 5-6.
+        let v5 = p_mndp_multi_hop_approx(0.2, 22.6, 5);
+        let v10 = p_mndp_multi_hop_approx(0.2, 22.6, 10);
+        assert!(v10 - v5 < 0.05, "saturation: {v5} -> {v10}");
+        assert!(v10 > 0.8, "high-nu rescue must be strong, got {v10}");
+    }
+
+    #[test]
+    fn multi_hop_approx_edge_cases() {
+        assert_eq!(p_mndp_multi_hop_approx(0.0, 22.6, 6), 0.0);
+        assert_eq!(p_mndp_multi_hop_approx(0.5, 22.6, 1), 0.0);
+        assert!((p_mndp_multi_hop_approx(1.0, 22.6, 3) - 1.0).abs() < 1e-12);
+        assert_eq!(p_mndp_multi_hop_approx(0.9, 0.0, 4), 0.0);
+    }
+
+    #[test]
+    fn p_jrsnd_combination() {
+        assert_eq!(p_jrsnd(0.0, 0.0), 0.0);
+        assert_eq!(p_jrsnd(1.0, 0.0), 1.0);
+        assert_eq!(p_jrsnd(0.0, 1.0), 1.0);
+        assert!((p_jrsnd(0.5, 0.5) - 0.75).abs() < 1e-12);
+        // JR-SND dominates both components.
+        for (pd, pm) in [(0.3, 0.6), (0.73, 0.99), (0.2, 0.39)] {
+            let p = p_jrsnd(pd, pm);
+            assert!(p >= pd && p >= pm);
+        }
+    }
+
+    #[test]
+    fn table1_jrsnd_probability_is_overwhelming() {
+        let params = Params::table1();
+        let pd = crate::analysis::dndp::p_dndp_lower(&params);
+        let pm = p_mndp_two_hop_from_params(&params);
+        let p = p_jrsnd(pd, pm);
+        assert!(p > 0.99, "P(JR-SND) = {p}");
+    }
+
+    #[test]
+    fn theorem4_latency_values() {
+        let p = Params::table1();
+        let g = p.expected_degree();
+        // nu = 2 at defaults: T_M ~ 0.36 + 0.426 + 0.0228 ~ 0.81 s.
+        let t2 = t_mndp(&p, 2, g);
+        assert!((0.6..1.0).contains(&t2), "T_M(2) = {t2}");
+        // Monotone in nu.
+        let mut last = 0.0;
+        for nu in 1..=8 {
+            let t = t_mndp(&p, nu, g);
+            assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn crossover_t_d_exceeds_t_m_past_m60ish() {
+        // Fig. 2(b): T_D crosses T_M somewhere in the m = 60-80 band.
+        let mut below = Params::table1();
+        below.m = 40;
+        let mut above = Params::table1();
+        above.m = 100;
+        let g = below.expected_degree();
+        assert!(crate::analysis::dndp::t_dndp(&below) < t_mndp(&below, 2, g));
+        assert!(crate::analysis::dndp::t_dndp(&above) > t_mndp(&above, 2, g));
+    }
+
+    #[test]
+    fn t_jrsnd_is_max() {
+        let p = Params::table1();
+        let t = t_jrsnd(&p);
+        assert!((t - crate::analysis::dndp::t_dndp(&p).max(t_mndp_from_params(&p))).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "nu must be at least 1")]
+    fn zero_nu_rejected() {
+        t_mndp(&Params::table1(), 0, 22.6);
+    }
+}

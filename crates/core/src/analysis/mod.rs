@@ -1,0 +1,9 @@
+//! Closed-form performance analysis (Section VI-A): the pre-distribution
+//! combinatorics, Theorem 1/2 for D-NDP, and Theorem 3/4 for M-NDP.
+//!
+//! Every formula is exposed both for overlaying theory curves on the
+//! simulated figures and for the theory-vs-simulation bracketing tests.
+
+pub mod dndp;
+pub mod mndp;
+pub mod predist;

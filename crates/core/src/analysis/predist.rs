@@ -1,0 +1,217 @@
+//! Closed-form analysis of the pre-distribution scheme (Section VI-A1).
+//!
+//! * Eq. (1): `Pr[x] = C(m,x) p^x (1−p)^{m−x}` with `p = (l−1)/(n−1)` — the
+//!   probability two nodes share exactly `x` codes;
+//! * Eq. (2): `α = 1 − C(n−l, q)/C(n, q)` — the probability any given code
+//!   is compromised after `q` node compromises.
+
+use crate::params::Params;
+
+/// `p = (l−1)/(n−1)`: per-round probability that two given nodes land in
+/// the same partition subset.
+pub fn share_prob_per_round(params: &Params) -> f64 {
+    params.share_prob_per_round()
+}
+
+/// Eq. (1): probability that two nodes share exactly `x` spread codes.
+///
+/// Computed with the numerically stable iterative binomial recurrence, so
+/// it works for any `m` without overflow.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd::analysis::predist::pr_share_exactly;
+/// use jrsnd::params::Params;
+///
+/// let p = Params::table1();
+/// let total: f64 = (0..=p.m).map(|x| pr_share_exactly(&p, x)).sum();
+/// assert!((total - 1.0).abs() < 1e-9);
+/// ```
+pub fn pr_share_exactly(params: &Params, x: usize) -> f64 {
+    if x > params.m {
+        return 0.0;
+    }
+    binomial_pmf(params.m, share_prob_per_round(params), x)
+}
+
+/// Probability that two nodes share at least one code,
+/// `1 − (1−p)^m` — the connectivity side of the (m, l) trade-off.
+pub fn pr_share_at_least_one(params: &Params) -> f64 {
+    1.0 - (1.0 - share_prob_per_round(params)).powi(params.m as i32)
+}
+
+/// Eq. (2): probability `α` that a given code is compromised when `q`
+/// nodes are compromised: `1 − C(n−l,q)/C(n,q)`.
+///
+/// Evaluated as `1 − Π_{i=0}^{q−1} (n−l−i)/(n−i)` to avoid huge binomials.
+pub fn alpha(params: &Params) -> f64 {
+    alpha_for(params.n, params.l, params.q)
+}
+
+/// [`alpha`] with explicit arguments (used by sweeps).
+pub fn alpha_for(n: usize, l: usize, q: usize) -> f64 {
+    if q == 0 {
+        return 0.0;
+    }
+    if q > n.saturating_sub(l) {
+        return 1.0;
+    }
+    let mut ratio = 1.0f64;
+    for i in 0..q {
+        ratio *= (n - l - i) as f64 / (n - i) as f64;
+    }
+    1.0 - ratio
+}
+
+/// Expected number of compromised codes, `c = s·α`.
+pub fn expected_compromised_codes(params: &Params) -> f64 {
+    params.pool_size() as f64 * alpha(params)
+}
+
+/// Numerically stable binomial pmf `C(n,k) p^k (1−p)^{n−k}`.
+pub fn binomial_pmf(n: usize, p: f64, k: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    if k > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    // log-space to survive n in the thousands.
+    let mut log_pmf = k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
+    log_pmf += log_binomial(n, k);
+    log_pmf.exp()
+}
+
+/// `ln C(n, k)` via the log-gamma identity, accurate for all sizes used
+/// here (n ≤ millions).
+pub fn log_binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// `ln n!` — exact summation for small `n`, Stirling series beyond.
+pub fn ln_factorial(n: usize) -> f64 {
+    if n < 256 {
+        (2..=n).map(|i| (i as f64).ln()).sum()
+    } else {
+        let x = n as f64;
+        // Stirling with correction terms: ln n! = n ln n - n + 0.5 ln(2 pi n)
+        //   + 1/(12n) - 1/(360 n^3) ...
+        x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+            - 1.0 / (360.0 * x.powi(3))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        for (n, p) in [(10usize, 0.3), (100, 0.02), (2000, 0.5)] {
+            let total: f64 = (0..=n).map(|k| binomial_pmf(n, p, k)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n}, p={p}");
+        }
+    }
+
+    #[test]
+    fn binomial_pmf_small_exact() {
+        // Binomial(4, 0.5): 1/16, 4/16, 6/16, 4/16, 1/16.
+        let expect = [1.0, 4.0, 6.0, 4.0, 1.0].map(|c| c / 16.0);
+        for (k, e) in expect.iter().enumerate() {
+            assert!((binomial_pmf(4, 0.5, k) - e).abs() < 1e-12, "k={k}");
+        }
+        assert_eq!(binomial_pmf(4, 0.5, 5), 0.0);
+        assert_eq!(binomial_pmf(4, 0.0, 0), 1.0);
+        assert_eq!(binomial_pmf(4, 1.0, 4), 1.0);
+    }
+
+    #[test]
+    fn ln_factorial_continuity_at_switchover() {
+        // Exact sum vs Stirling must agree to ~1e-10 around n = 256.
+        let exact: f64 = (2..=256usize).map(|i| (i as f64).ln()).sum();
+        let x = 256f64;
+        let stirling =
+            x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+                - 1.0 / (360.0 * x.powi(3));
+        assert!((exact - stirling).abs() < 1e-8);
+    }
+
+    #[test]
+    fn log_binomial_symmetry_and_pascal() {
+        assert!((log_binomial(10, 3) - log_binomial(10, 7)).abs() < 1e-10);
+        // Pascal: C(12,5) = C(11,4) + C(11,5).
+        let lhs = log_binomial(12, 5).exp();
+        let rhs = log_binomial(11, 4).exp() + log_binomial(11, 5).exp();
+        assert!((lhs - rhs).abs() / rhs < 1e-10);
+        assert_eq!(log_binomial(5, 6), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn alpha_table1_value() {
+        // alpha = 1 - prod (1960-i)/(2000-i), i in 0..20 ~ 0.3329.
+        let p = Params::table1();
+        let a = alpha(&p);
+        let mut expect = 1.0;
+        for i in 0..20 {
+            expect *= (1960.0 - i as f64) / (2000.0 - i as f64);
+        }
+        let expect = 1.0 - expect;
+        assert!((a - expect).abs() < 1e-12);
+        assert!((0.33..0.34).contains(&a), "alpha = {a}");
+    }
+
+    #[test]
+    fn alpha_edge_cases_and_monotonicity() {
+        assert_eq!(alpha_for(2000, 40, 0), 0.0);
+        assert_eq!(alpha_for(100, 40, 61), 1.0);
+        let mut last = 0.0;
+        for q in 0..200 {
+            let a = alpha_for(2000, 40, q);
+            assert!(a >= last - 1e-15, "q={q}");
+            assert!((0.0..=1.0).contains(&a));
+            last = a;
+        }
+    }
+
+    #[test]
+    fn alpha_increases_with_l() {
+        let a20 = alpha_for(2000, 20, 50);
+        let a40 = alpha_for(2000, 40, 50);
+        let a100 = alpha_for(2000, 100, 50);
+        assert!(a20 < a40 && a40 < a100);
+    }
+
+    #[test]
+    fn pr_share_matches_closed_form_mean() {
+        let p = Params::table1();
+        let mean: f64 = (0..=p.m).map(|x| x as f64 * pr_share_exactly(&p, x)).sum();
+        let expect = p.m as f64 * p.share_prob_per_round();
+        assert!((mean - expect).abs() < 1e-9, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn pr_share_at_least_one_consistency() {
+        let p = Params::table1();
+        let direct = pr_share_at_least_one(&p);
+        let via_sum: f64 = 1.0 - pr_share_exactly(&p, 0);
+        assert!((direct - via_sum).abs() < 1e-12);
+        // Table I values: 1 - (1 - 39/1999)^100 ~ 0.861.
+        assert!((direct - 0.861).abs() < 5e-3, "P(share >= 1) = {direct}");
+    }
+
+    #[test]
+    fn expected_compromised_codes_table1() {
+        let p = Params::table1();
+        let c = expected_compromised_codes(&p);
+        // s = 5000, alpha ~ 0.333 => c ~ 1665.
+        assert!((1600.0..1700.0).contains(&c), "c = {c}");
+    }
+}

@@ -1,0 +1,476 @@
+//! The complete D-NDP handshake executed at chip level.
+//!
+//! This module glues every substrate together exactly as Section V-B
+//! describes: wire-framed messages (`messages`), (1+μ)-expansion ECC
+//! (`jrsnd_ecc`), spreading and sliding-window synchronization
+//! (`jrsnd_dsss`), a shared chip medium with an optional same-code jammer,
+//! and the IBC mutual authentication plus session-code derivation
+//! (`jrsnd_crypto`). The Monte-Carlo driver abstracts these steps into
+//! per-message jam probabilities; this path validates that abstraction on
+//! real chips.
+
+use crate::handshake::{Initiator, Responder};
+use crate::messages::WireConfig;
+use crate::params::Params;
+use jrsnd_crypto::ibc::{Authority, NodeId};
+use jrsnd_dsss::channel::ChipChannel;
+use jrsnd_dsss::code::{CodeId, SpreadCode};
+use jrsnd_dsss::spread::spread;
+use jrsnd_dsss::sync::{decode_frame, scan};
+use jrsnd_ecc::expand::ExpansionCode;
+use jrsnd_sim::rng::SimRng;
+use rand::{Rng, SeedableRng};
+
+/// How the chip-level jammer behaves during the handshake.
+#[derive(Debug, Clone)]
+pub struct ChipJammer {
+    /// The code the jammer transmits with (jamming only works if it equals
+    /// the code actually in use).
+    pub code: SpreadCode,
+    /// Fraction of each message (from the tail) it covers.
+    pub fraction: f64,
+    /// Transmit amplitude relative to legitimate nodes.
+    pub amplitude: i32,
+    /// First handshake message to attack (0 = HELLO, 1 = CONFIRM,
+    /// 2 = AUTH_A, 3 = AUTH_B) — `> 0` is the Section V-B "intelligent
+    /// attack" that spares the HELLO and targets the tail of the
+    /// handshake. Messages before this index are left untouched.
+    pub first_message: usize,
+}
+
+impl ChipJammer {
+    /// A jammer attacking every message from the HELLO onwards.
+    pub fn from_start(code: SpreadCode, fraction: f64, amplitude: i32) -> Self {
+        ChipJammer {
+            code,
+            fraction,
+            amplitude,
+            first_message: 0,
+        }
+    }
+
+    fn attacks(&self, message_index: usize) -> bool {
+        message_index >= self.first_message
+    }
+}
+
+/// The result of one chip-level D-NDP handshake.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandshakeReport {
+    /// Whether both sides authenticated and derived equal session codes.
+    pub discovered: bool,
+    /// Which stage the handshake reached.
+    pub stage: Stage,
+    /// Correlations evaluated by B's initial sliding-window scan.
+    pub scan_correlations: u64,
+}
+
+/// Handshake progress marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// B never recovered a HELLO.
+    NoHello,
+    /// A never recovered B's CONFIRM.
+    NoConfirm,
+    /// B rejected A's authentication message.
+    AuthAFailed,
+    /// A rejected B's authentication message.
+    AuthBFailed,
+    /// Completed; session codes match.
+    Complete,
+}
+
+/// Transmits `message_bits` ECC-coded and spread with `code` onto a fresh
+/// channel segment, with `jammer` (if any) covering the tail of the
+/// transmission, then receives it back through ECC decoding.
+///
+/// Returns the decoded bits, or `None` if the ECC gave up.
+#[allow(clippy::too_many_arguments)]
+fn transmit_and_receive(
+    message_bits: &[bool],
+    code: &SpreadCode,
+    ecc: &ExpansionCode,
+    jammer: Option<&ChipJammer>,
+    message_index: usize,
+    tau: f64,
+    noise_seed: u64,
+    rng: &mut SimRng,
+) -> Option<Vec<bool>> {
+    let coded = ecc.encode_bits(message_bits).expect("non-empty message");
+    let chips = spread(&coded, code);
+    let n = code.len();
+    let total_chips = chips.len();
+    let mut channel = ChipChannel::new(noise_seed);
+    channel.transmit(0, chips, 1);
+    if let Some(j) = jammer.filter(|j| j.attacks(message_index)) {
+        // Reactive jammer: chip-synchronized garbage over the tail
+        // `fraction` of the message, aligned to bit boundaries.
+        let jam_bits_count = ((coded.len() as f64) * j.fraction).round() as usize;
+        if jam_bits_count > 0 {
+            let start_bit = coded.len() - jam_bits_count;
+            let garbage: Vec<bool> = (0..jam_bits_count).map(|_| rng.gen()).collect();
+            channel.transmit(
+                (start_bit * n) as u64,
+                spread(&garbage, &j.code),
+                j.amplitude,
+            );
+        }
+    }
+    let samples = channel.render(0, total_chips);
+    let frame = decode_frame(&samples, 0, code, coded.len(), tau)?;
+    ecc.decode_bits(&frame.bits, &frame.erased, message_bits.len())
+        .ok()
+}
+
+/// Runs the full four-message D-NDP handshake between `A` and `B` at chip
+/// level.
+///
+/// `a_codes`/`b_codes` are each party's pre-distributed codes;
+/// `shared_index` selects the code common to both (in both slices).
+/// `jammer` (if any) attacks every message of the handshake.
+///
+/// A broadcasts one HELLO per code (one D-NDP round); B locates it with a
+/// sliding-window scan across **all** of ℂ_B, exactly as the paper's
+/// receiver does.
+///
+/// # Panics
+///
+/// Panics if the shared index is out of range or the code sets are empty.
+#[allow(clippy::too_many_arguments)] // the handshake's full cast of characters
+pub fn run_handshake(
+    params: &Params,
+    authority: &Authority,
+    a_codes: &[SpreadCode],
+    b_codes: &[SpreadCode],
+    shared_a: usize,
+    shared_b: usize,
+    jammer: Option<&ChipJammer>,
+    seed: u64,
+) -> HandshakeReport {
+    assert!(
+        !a_codes.is_empty() && !b_codes.is_empty(),
+        "empty code sets"
+    );
+    assert!(shared_a < a_codes.len() && shared_b < b_codes.len());
+    let mut rng = SimRng::seed_from_u64(seed);
+    let wire = WireConfig::from_params(params);
+    let ecc = ExpansionCode::new(params.mu).expect("mu validated");
+    let tau = params.tau;
+    let id_a = NodeId(1);
+    let id_b = NodeId(2);
+    // The protocol semantics live in the handshake endpoints; this
+    // function is the radio layer around them.
+    let mut initiator = Initiator::new(authority.issue(id_a), wire, params.n_chips, &mut rng);
+    let mut responder = Responder::new(authority.issue(id_b), wire, params.n_chips, 256, &mut rng);
+
+    // ---- Message 1: A broadcasts {HELLO, ID_A} with each of its codes. ----
+    let hello_bits = initiator.hello_frame();
+    let hello_coded = ecc.encode_bits(&hello_bits).expect("non-empty");
+    let n = a_codes[0].len();
+    let mut channel = ChipChannel::new(seed ^ 0x1111);
+    let mut offset = 0u64;
+    let msg_chips = hello_coded.len() * n;
+    for code in a_codes {
+        channel.transmit(offset, spread(&hello_coded, code), 1);
+        offset += msg_chips as u64;
+    }
+    if let Some(j) = jammer.filter(|j| j.attacks(0)) {
+        // Reactive jammer: covers the tail `fraction` of every HELLO copy,
+        // chip-synchronized (the paper grants the jammer chip sync).
+        let jam_bits = ((hello_coded.len() as f64) * j.fraction).round() as usize;
+        if jam_bits > 0 {
+            for copy in 0..a_codes.len() {
+                let start_bit = copy * hello_coded.len() + (hello_coded.len() - jam_bits);
+                let garbage: Vec<bool> = (0..jam_bits).map(|_| rng.gen()).collect();
+                channel.transmit(
+                    (start_bit * n) as u64,
+                    spread(&garbage, &j.code),
+                    j.amplitude,
+                );
+            }
+        }
+    }
+    let buffer = channel.render(0, msg_chips * a_codes.len());
+    let b_refs: Vec<&SpreadCode> = b_codes.iter().collect();
+    // The receiver keeps scanning past failed candidates — a noise-induced
+    // sync or an undecodable (jammed) frame must not stop it from finding
+    // a later clean copy in the same buffer.
+    let mut scan_correlations = 0u64;
+    let mut confirm_frame: Option<Vec<bool>> = None;
+    let mut pos = 0usize;
+    while pos + n <= buffer.len() {
+        let Some(h) = scan(&buffer[pos..], &b_refs, tau) else {
+            break;
+        };
+        scan_correlations += h.correlations_computed;
+        let abs_offset = pos + h.offset;
+        let frame = decode_frame(
+            &buffer,
+            abs_offset,
+            &b_codes[h.code_index],
+            hello_coded.len(),
+            tau,
+        );
+        let decoded =
+            frame.and_then(|f| ecc.decode_bits(&f.bits, &f.erased, hello_bits.len()).ok());
+        if let Some(bits) = decoded {
+            if h.code_index == shared_b {
+                if let Ok(confirm) = responder.on_hello(&bits, CodeId(shared_b as u32)) {
+                    confirm_frame = Some(confirm);
+                    break;
+                }
+            }
+        }
+        // Skip one bit period: the refinement already searched this window.
+        pos = abs_offset + n;
+    }
+    let Some(confirm_bits) = confirm_frame else {
+        return HandshakeReport {
+            discovered: false,
+            stage: Stage::NoHello,
+            scan_correlations,
+        };
+    };
+    let code = &b_codes[shared_b]; // == a_codes[shared_a]
+    debug_assert_eq!(code.chips(), a_codes[shared_a].chips());
+
+    // ---- Message 2: B -> A {CONFIRM, ID_B} spread with the shared code. ----
+    let auth_a_frame = transmit_and_receive(
+        &confirm_bits,
+        code,
+        &ecc,
+        jammer,
+        1,
+        tau,
+        seed ^ 0x2222,
+        &mut rng,
+    )
+    .and_then(|bits| initiator.on_confirm(&bits, CodeId(shared_b as u32)).ok());
+    let Some(auth_a_bits) = auth_a_frame else {
+        return HandshakeReport {
+            discovered: false,
+            stage: Stage::NoConfirm,
+            scan_correlations,
+        };
+    };
+
+    // ---- Message 3: A -> B {ID_A, n_A, f_{K_AB}(ID_A | n_A)}. ----
+    let auth_b_frame = transmit_and_receive(
+        &auth_a_bits,
+        code,
+        &ecc,
+        jammer,
+        2,
+        tau,
+        seed ^ 0x3333,
+        &mut rng,
+    )
+    .and_then(|bits| responder.on_auth_a(&bits).ok());
+    let Some((auth_b_bits, est_b)) = auth_b_frame else {
+        return HandshakeReport {
+            discovered: false,
+            stage: Stage::AuthAFailed,
+            scan_correlations,
+        };
+    };
+
+    // ---- Message 4: B -> A {ID_B, n_B, f_{K_BA}(ID_B | n_B)}. ----
+    let est_a = transmit_and_receive(
+        &auth_b_bits,
+        code,
+        &ecc,
+        jammer,
+        3,
+        tau,
+        seed ^ 0x4444,
+        &mut rng,
+    )
+    .and_then(|bits| initiator.on_auth_b(&bits).ok());
+    let Some(est_a) = est_a else {
+        return HandshakeReport {
+            discovered: false,
+            stage: Stage::AuthBFailed,
+            scan_correlations,
+        };
+    };
+
+    // ---- Both sides hold the session spread code; they must agree. ----
+    HandshakeReport {
+        discovered: est_a.session_code == est_b.session_code,
+        stage: Stage::Complete,
+        scan_correlations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    /// A chip-level-friendly parameter set: shorter codes so the scan in a
+    /// unit test finishes quickly. The de-spreading threshold must scale
+    /// with the code length (tau ~ k/sqrt(N) for a fixed false-sync rate):
+    /// the paper's tau = 0.15 is ~3.4 sigma at N = 512; at N = 256 we use
+    /// tau = 0.30 (~4.8 sigma) to keep cross-code noise below threshold.
+    fn chip_params() -> Params {
+        let mut p = Params::table1();
+        p.n_chips = 256;
+        p.tau = 0.30;
+        p
+    }
+
+    struct Setup {
+        params: Params,
+        authority: Authority,
+        a_codes: Vec<SpreadCode>,
+        b_codes: Vec<SpreadCode>,
+    }
+
+    /// A and B hold 3 codes each; index 1 is shared.
+    fn setup(seed: u64) -> Setup {
+        let params = chip_params();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shared = SpreadCode::random(params.n_chips, &mut rng);
+        let a_codes = vec![
+            SpreadCode::random(params.n_chips, &mut rng),
+            shared.clone(),
+            SpreadCode::random(params.n_chips, &mut rng),
+        ];
+        let b_codes = vec![
+            SpreadCode::random(params.n_chips, &mut rng),
+            shared,
+            SpreadCode::random(params.n_chips, &mut rng),
+        ];
+        Setup {
+            params,
+            authority: Authority::from_seed(b"chiplink"),
+            a_codes,
+            b_codes,
+        }
+    }
+
+    #[test]
+    fn clean_channel_completes_handshake() {
+        let s = setup(1);
+        let report = run_handshake(
+            &s.params,
+            &s.authority,
+            &s.a_codes,
+            &s.b_codes,
+            1,
+            1,
+            None,
+            99,
+        );
+        assert_eq!(report.stage, Stage::Complete);
+        assert!(report.discovered);
+        assert!(report.scan_correlations > 0, "B really scanned the buffer");
+    }
+
+    #[test]
+    fn wrong_code_jammer_cannot_stop_discovery() {
+        let s = setup(2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let jammer = ChipJammer::from_start(SpreadCode::random(s.params.n_chips, &mut rng), 1.0, 1);
+        let report = run_handshake(
+            &s.params,
+            &s.authority,
+            &s.a_codes,
+            &s.b_codes,
+            1,
+            1,
+            Some(&jammer),
+            100,
+        );
+        assert!(report.discovered, "stage: {:?}", report.stage);
+    }
+
+    #[test]
+    fn correct_code_full_jam_kills_handshake() {
+        let s = setup(3);
+        let jammer = ChipJammer::from_start(s.a_codes[1].clone(), 1.0, 3);
+        let report = run_handshake(
+            &s.params,
+            &s.authority,
+            &s.a_codes,
+            &s.b_codes,
+            1,
+            1,
+            Some(&jammer),
+            101,
+        );
+        assert!(!report.discovered);
+    }
+
+    #[test]
+    fn sub_threshold_jam_is_absorbed_by_ecc() {
+        // Jamming ~20% of each message is well under mu/(1+mu) = 50%; the
+        // Reed-Solomon layer must shrug it off.
+        let s = setup(4);
+        let jammer = ChipJammer::from_start(s.a_codes[1].clone(), 0.20, 1);
+        let report = run_handshake(
+            &s.params,
+            &s.authority,
+            &s.a_codes,
+            &s.b_codes,
+            1,
+            1,
+            Some(&jammer),
+            102,
+        );
+        assert!(report.discovered, "stage: {:?}", report.stage);
+    }
+
+    #[test]
+    fn intelligent_attack_reaches_each_later_stage() {
+        // Sparing early messages and killing from message k on must fail
+        // the handshake at exactly stage k.
+        let s = setup(6);
+        let cases = [
+            (1usize, Stage::NoConfirm),
+            (2, Stage::AuthAFailed),
+            (3, Stage::AuthBFailed),
+        ];
+        for (first, expected) in cases {
+            let jammer = ChipJammer {
+                code: s.a_codes[1].clone(),
+                fraction: 1.0,
+                amplitude: 3,
+                first_message: first,
+            };
+            let report = run_handshake(
+                &s.params,
+                &s.authority,
+                &s.a_codes,
+                &s.b_codes,
+                1,
+                1,
+                Some(&jammer),
+                200 + first as u64,
+            );
+            assert!(!report.discovered);
+            assert_eq!(report.stage, expected, "first_message = {first}");
+        }
+    }
+
+    #[test]
+    fn no_shared_code_means_no_hello() {
+        let s = setup(5);
+        let mut rng = StdRng::seed_from_u64(50);
+        // Replace B's copy of the shared code so nothing overlaps.
+        let mut b_codes = s.b_codes.clone();
+        b_codes[1] = SpreadCode::random(s.params.n_chips, &mut rng);
+        let report = run_handshake(
+            &s.params,
+            &s.authority,
+            &s.a_codes,
+            &b_codes,
+            1,
+            1,
+            None,
+            103,
+        );
+        assert_eq!(report.stage, Stage::NoHello);
+        assert!(!report.discovered);
+    }
+}

@@ -1,0 +1,286 @@
+//! D-NDP: the direct neighbor-discovery protocol (Section V-B), simulated
+//! pairwise at protocol level.
+//!
+//! Two physical neighbors sharing `x ≥ 1` secret codes run `x` redundant
+//! sub-sessions of the four-message handshake
+//! `HELLO → CONFIRM → AUTH_A → AUTH_B`; discovery succeeds iff at least
+//! one sub-session survives the jammer. The redundancy design (spreading
+//! the CONFIRM and AUTH messages with *all* shared codes) is what defeats
+//! the "intelligent attack" that spares the HELLO and targets the later
+//! messages — the ablation switch in [`DndpConfig`] reproduces that
+//! comparison.
+
+use crate::jammer::Jammer;
+use crate::params::Params;
+use jrsnd_dsss::code::CodeId;
+use jrsnd_sim::rng::SimRng;
+use rand::Rng;
+
+/// Protocol variants for the redundancy ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DndpConfig {
+    /// Paper design: spread CONFIRM/AUTH over every shared code (`true`),
+    /// or pick one random shared code (`false`, the strawman).
+    pub redundancy: bool,
+    /// The "intelligent attack": the jammer deliberately spares HELLOs and
+    /// targets only the three later messages.
+    pub tail_only_attack: bool,
+}
+
+impl Default for DndpConfig {
+    fn default() -> Self {
+        DndpConfig {
+            redundancy: true,
+            tail_only_attack: false,
+        }
+    }
+}
+
+/// Outcome of one pairwise D-NDP execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DndpOutcome {
+    /// Whether the pair discovered (and authenticated) each other.
+    pub discovered: bool,
+    /// Number of shared codes `x`.
+    pub shared_codes: usize,
+    /// Sub-sessions that survived jamming (0 when not discovered).
+    pub surviving_sessions: usize,
+    /// Sampled discovery latency in seconds (only when discovered).
+    pub latency: Option<f64>,
+}
+
+/// Simulates one D-NDP execution between two physical neighbors sharing
+/// `shared` codes, under `jammer`, with the paper's default redundancy.
+pub fn simulate_pair(
+    params: &Params,
+    shared: &[CodeId],
+    jammer: &Jammer,
+    rng: &mut SimRng,
+) -> DndpOutcome {
+    simulate_pair_with(params, shared, jammer, DndpConfig::default(), rng)
+}
+
+/// [`simulate_pair`] with explicit protocol/attack variants.
+pub fn simulate_pair_with(
+    params: &Params,
+    shared: &[CodeId],
+    jammer: &Jammer,
+    config: DndpConfig,
+    rng: &mut SimRng,
+) -> DndpOutcome {
+    let x = shared.len();
+    if x == 0 {
+        return DndpOutcome {
+            discovered: false,
+            shared_codes: 0,
+            surviving_sessions: 0,
+            latency: None,
+        };
+    }
+
+    // Phase 1: which HELLO copies does B receive?
+    let hello_received: Vec<bool> = shared
+        .iter()
+        .map(|&c| {
+            if config.tail_only_attack {
+                true // the intelligent attacker deliberately lets HELLOs through
+            } else {
+                !jammer.jams_hello(c, rng)
+            }
+        })
+        .collect();
+
+    // Phase 2: which codes does B spread the CONFIRM/AUTH sub-sessions
+    // with? Paper design: all received ones. Strawman: one at random.
+    let candidate_codes: Vec<CodeId> = shared
+        .iter()
+        .zip(&hello_received)
+        .filter(|(_, &ok)| ok)
+        .map(|(&c, _)| c)
+        .collect();
+    if candidate_codes.is_empty() {
+        return DndpOutcome {
+            discovered: false,
+            shared_codes: x,
+            surviving_sessions: 0,
+            latency: None,
+        };
+    }
+    let session_codes: Vec<CodeId> = if config.redundancy {
+        candidate_codes
+    } else {
+        let pick = rng.gen_range(0..candidate_codes.len());
+        vec![candidate_codes[pick]]
+    };
+
+    // Phase 3: sub-sessions whose remaining three messages all survive.
+    let surviving = session_codes
+        .iter()
+        .filter(|&&c| !jammer.jams_tail(c, rng))
+        .count();
+
+    let discovered = surviving > 0;
+    DndpOutcome {
+        discovered,
+        shared_codes: x,
+        surviving_sessions: surviving,
+        latency: discovered.then(|| sample_latency(params, rng)),
+    }
+}
+
+/// Samples one discovery latency from the Theorem 2 timeline:
+/// three uniform residual/processing waits of mean `t_p/2`, one de-spread
+/// wait of mean `λt_h/2`, plus the deterministic authentication phase
+/// `2Nl_f/R + 2t_key`.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd::dndp::sample_latency;
+/// use jrsnd::params::Params;
+/// use jrsnd_sim::rng::SimRng;
+/// use rand::SeedableRng;
+///
+/// let p = Params::table1();
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let t = sample_latency(&p, &mut rng);
+/// assert!(t > 0.0 && t < 5.0);
+/// ```
+pub fn sample_latency(params: &Params, rng: &mut SimRng) -> f64 {
+    let schedule = params.schedule();
+    let t_p = schedule.t_p();
+    let t_h = schedule.t_h();
+    let lambda = schedule.lambda();
+    let t_r_b = rng.gen_range(0.0..t_p.max(f64::MIN_POSITIVE));
+    let t_d_b = rng.gen_range(0.0..t_p.max(f64::MIN_POSITIVE));
+    let t_r_a = rng.gen_range(0.0..t_p.max(f64::MIN_POSITIVE));
+    let t_d_a = rng.gen_range(0.0..(lambda * t_h).max(f64::MIN_POSITIVE));
+    let auth =
+        2.0 * params.n_chips as f64 * params.l_f() as f64 / params.chip_rate + 2.0 * params.t_key;
+    t_r_b + t_d_b + t_r_a + t_d_a + auth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jammer::JammerKind;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn codes(ids: &[u32]) -> Vec<CodeId> {
+        ids.iter().map(|&i| CodeId(i)).collect()
+    }
+
+    fn reactive(known: &[u32], params: &Params) -> Jammer {
+        Jammer::new(
+            JammerKind::Reactive,
+            known.iter().map(|&i| CodeId(i)).collect::<HashSet<_>>(),
+            params,
+        )
+    }
+
+    #[test]
+    fn no_shared_codes_never_discovers() {
+        let p = Params::table1();
+        let mut rng = SimRng::seed_from_u64(1);
+        let out = simulate_pair(&p, &[], &Jammer::inactive(&p), &mut rng);
+        assert!(!out.discovered);
+        assert_eq!(out.shared_codes, 0);
+        assert_eq!(out.latency, None);
+    }
+
+    #[test]
+    fn no_jammer_always_discovers() {
+        let p = Params::table1();
+        let mut rng = SimRng::seed_from_u64(2);
+        for x in 1..5 {
+            let shared: Vec<CodeId> = (0..x).map(CodeId).collect();
+            let out = simulate_pair(&p, &shared, &Jammer::inactive(&p), &mut rng);
+            assert!(out.discovered);
+            assert_eq!(out.surviving_sessions, x as usize);
+            assert!(out.latency.is_some());
+        }
+    }
+
+    #[test]
+    fn reactive_jammer_kills_fully_compromised_pairs() {
+        let p = Params::table1();
+        let j = reactive(&[1, 2, 3], &p);
+        let mut rng = SimRng::seed_from_u64(3);
+        let out = simulate_pair(&p, &codes(&[1, 2]), &j, &mut rng);
+        assert!(!out.discovered);
+        // One non-compromised code saves the pair.
+        let out = simulate_pair(&p, &codes(&[1, 9]), &j, &mut rng);
+        assert!(out.discovered);
+        assert_eq!(out.surviving_sessions, 1);
+    }
+
+    #[test]
+    fn redundancy_defeats_tail_only_attack() {
+        // x = 2 shared codes, one compromised. The intelligent attacker
+        // spares HELLOs and reactively jams tails of compromised codes.
+        let p = Params::table1();
+        let j = reactive(&[1], &p);
+        let shared = codes(&[1, 2]);
+        let attack = DndpConfig {
+            redundancy: true,
+            tail_only_attack: true,
+        };
+        let strawman = DndpConfig {
+            redundancy: false,
+            tail_only_attack: true,
+        };
+        let mut rng = SimRng::seed_from_u64(4);
+        let trials = 4000;
+        let with_red = (0..trials)
+            .filter(|_| simulate_pair_with(&p, &shared, &j, attack, &mut rng).discovered)
+            .count();
+        let without = (0..trials)
+            .filter(|_| simulate_pair_with(&p, &shared, &j, strawman, &mut rng).discovered)
+            .count();
+        // Redundant spreading always survives via the clean code; the
+        // strawman picks the compromised code half the time.
+        assert_eq!(with_red, trials);
+        let rate = without as f64 / trials as f64;
+        assert!((rate - 0.5).abs() < 0.05, "strawman survival {rate}");
+    }
+
+    #[test]
+    fn discovery_rate_tracks_theorem1_for_single_code() {
+        // Random jammer, x = 1 compromised code: P(success) = 1 - (b+b'-bb').
+        let mut p = Params::table1();
+        p.z = 10;
+        let pool: HashSet<CodeId> = (0..200).map(CodeId).collect();
+        let j = Jammer::new(JammerKind::Random, pool, &p);
+        // beta = 20/200 = 0.1, beta' = 0.3; survival = 1-(0.1+0.3-0.03)=0.63.
+        let mut rng = SimRng::seed_from_u64(5);
+        let trials = 20_000;
+        let wins = (0..trials)
+            .filter(|_| simulate_pair(&p, &codes(&[7]), &j, &mut rng).discovered)
+            .count();
+        let rate = wins as f64 / trials as f64;
+        assert!((rate - 0.63).abs() < 0.015, "survival {rate}");
+    }
+
+    #[test]
+    fn latency_stats_match_theorem2_mean() {
+        let p = Params::table1();
+        let mut rng = SimRng::seed_from_u64(6);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| sample_latency(&p, &mut rng)).sum::<f64>() / n as f64;
+        let theory = crate::analysis::dndp::t_dndp(&p);
+        assert!(
+            (mean - theory).abs() / theory < 0.02,
+            "sampled {mean}, theory {theory}"
+        );
+    }
+
+    #[test]
+    fn latency_only_on_discovery() {
+        let p = Params::table1();
+        let j = reactive(&[1], &p);
+        let mut rng = SimRng::seed_from_u64(7);
+        let out = simulate_pair(&p, &codes(&[1]), &j, &mut rng);
+        assert!(!out.discovered && out.latency.is_none());
+    }
+}

@@ -1,0 +1,566 @@
+//! The D-NDP handshake as explicit per-node state machines.
+//!
+//! [`crate::dndp`] simulates handshake *outcomes* for Monte-Carlo scale and
+//! [`crate::chiplink`] scripts one straight-line run; a real radio stack
+//! instead needs event-driven endpoints that consume decoded frames one at
+//! a time, validate them, and emit the next transmission. This module is
+//! that endpoint layer: an [`Initiator`] (node A) and a [`Responder`]
+//! (node B) that step through
+//!
+//! ```text
+//! A  --HELLO-->  B      (spread with every code of A; B finds a shared one)
+//! A  <--CONFIRM--  B
+//! A  --AUTH_A-->  B      {ID_A, n_A, f_K(ID_A|n_A)}
+//! A  <--AUTH_B--  B      {ID_B, n_B, f_K(ID_B|n_B)}
+//! ```
+//!
+//! with strict state checking, MAC verification, replay protection
+//! ([`jrsnd_crypto::replay::ReplayGuard`]), and the session spread code
+//! `C_AB = h_{K_AB}(n_A ⊗ n_B)` as the final product on both sides.
+
+use crate::messages::{MessageKind, WireConfig};
+use jrsnd_crypto::ibc::{IdPrivateKey, NodeId};
+use jrsnd_crypto::mac::auth_tag;
+use jrsnd_crypto::nonce::Nonce;
+use jrsnd_crypto::replay::ReplayGuard;
+use jrsnd_crypto::session::derive_session_code;
+use jrsnd_dsss::code::CodeId;
+use jrsnd_sim::rng::SimRng;
+use std::fmt;
+
+/// Why a handshake step was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeError {
+    /// The frame arrived in a state that does not expect it.
+    WrongState {
+        /// What the endpoint was doing.
+        state: &'static str,
+    },
+    /// The frame failed to parse.
+    Malformed,
+    /// The authentication tag did not verify.
+    BadTag {
+        /// Who the frame claimed to be from.
+        claimed: NodeId,
+    },
+    /// The (peer, nonce) pair was already used — a replay.
+    Replayed {
+        /// The replayed peer.
+        peer: NodeId,
+    },
+    /// The peer id changed mid-handshake.
+    PeerMismatch,
+    /// The endpoint timed out and is no longer usable.
+    TimedOut,
+}
+
+impl fmt::Display for HandshakeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HandshakeError::WrongState { state } => write!(f, "unexpected frame in state {state}"),
+            HandshakeError::Malformed => write!(f, "frame failed to parse"),
+            HandshakeError::BadTag { claimed } => {
+                write!(f, "authentication tag from {claimed} did not verify")
+            }
+            HandshakeError::Replayed { peer } => write!(f, "replayed nonce from {peer}"),
+            HandshakeError::PeerMismatch => write!(f, "peer identity changed mid-handshake"),
+            HandshakeError::TimedOut => write!(f, "handshake timed out"),
+        }
+    }
+}
+
+impl std::error::Error for HandshakeError {}
+
+/// A completed handshake: the authenticated peer and the shared session
+/// spread code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Established {
+    /// The authenticated logical neighbor.
+    pub peer: NodeId,
+    /// The code both sides agreed on during discovery.
+    pub discovery_code: CodeId,
+    /// The fresh session spread code `C_AB` (chip bits).
+    pub session_code: Vec<bool>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InitiatorState {
+    AwaitConfirm,
+    AwaitAuthB,
+    Done,
+    Failed,
+}
+
+/// Node A's half of the handshake.
+#[derive(Debug)]
+pub struct Initiator {
+    key: IdPrivateKey,
+    wire: WireConfig,
+    n_chips: usize,
+    nonce: Nonce,
+    state: InitiatorState,
+    peer: Option<NodeId>,
+    code: Option<CodeId>,
+}
+
+impl Initiator {
+    /// Creates an initiator; `rng` draws the replay nonce `n_A`.
+    pub fn new(key: IdPrivateKey, wire: WireConfig, n_chips: usize, rng: &mut SimRng) -> Self {
+        let nonce = Nonce::random(rng, wire.l_n as u32);
+        Initiator {
+            key,
+            wire,
+            n_chips,
+            nonce,
+            state: InitiatorState::AwaitConfirm,
+            peer: None,
+            code: None,
+        }
+    }
+
+    /// The HELLO payload to broadcast (spread with each code in ℂ_A by the
+    /// radio layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id exceeds `l_id` bits (checked at issue time in
+    /// practice).
+    pub fn hello_frame(&self) -> Vec<bool> {
+        self.wire
+            .encode_hello(MessageKind::Hello, self.key.id())
+            .expect("own id fits l_id")
+    }
+
+    /// Handles B's CONFIRM (decoded bits) heard on `code`; returns the
+    /// AUTH_A frame to send back on the same code.
+    ///
+    /// # Errors
+    ///
+    /// [`HandshakeError`] on state, parse, or identity violations.
+    pub fn on_confirm(&mut self, bits: &[bool], code: CodeId) -> Result<Vec<bool>, HandshakeError> {
+        if self.state != InitiatorState::AwaitConfirm {
+            return Err(self.fail_state());
+        }
+        let (kind, peer) = self.wire.decode_hello(bits).map_err(|_| {
+            self.state = InitiatorState::Failed;
+            HandshakeError::Malformed
+        })?;
+        if kind != MessageKind::Confirm || peer == self.key.id() {
+            self.state = InitiatorState::Failed;
+            return Err(HandshakeError::Malformed);
+        }
+        self.peer = Some(peer);
+        self.code = Some(code);
+        let tag = auth_tag(&self.key.shared_key(peer), self.key.id(), self.nonce);
+        let frame = self
+            .wire
+            .encode_auth(self.key.id(), self.nonce, &tag)
+            .expect("fields fit");
+        self.state = InitiatorState::AwaitAuthB;
+        Ok(frame)
+    }
+
+    /// Handles B's AUTH_B; on success the handshake is complete.
+    ///
+    /// # Errors
+    ///
+    /// [`HandshakeError`] on state, parse, tag, or identity violations.
+    pub fn on_auth_b(&mut self, bits: &[bool]) -> Result<Established, HandshakeError> {
+        if self.state != InitiatorState::AwaitAuthB {
+            return Err(self.fail_state());
+        }
+        let (peer, n_b, tag_bits) = self.wire.decode_auth(bits).map_err(|_| {
+            self.state = InitiatorState::Failed;
+            HandshakeError::Malformed
+        })?;
+        if Some(peer) != self.peer {
+            self.state = InitiatorState::Failed;
+            return Err(HandshakeError::PeerMismatch);
+        }
+        let k_ab = self.key.shared_key(peer);
+        if !self
+            .wire
+            .tag_matches(&tag_bits, &auth_tag(&k_ab, peer, n_b))
+        {
+            self.state = InitiatorState::Failed;
+            return Err(HandshakeError::BadTag { claimed: peer });
+        }
+        self.state = InitiatorState::Done;
+        Ok(Established {
+            peer,
+            discovery_code: self.code.expect("set on CONFIRM"),
+            session_code: derive_session_code(&k_ab, self.nonce, n_b, self.n_chips),
+        })
+    }
+
+    /// Gives up (monitoring timer expired). The endpoint becomes unusable.
+    pub fn on_timeout(&mut self) -> HandshakeError {
+        self.state = InitiatorState::Failed;
+        HandshakeError::TimedOut
+    }
+
+    /// Whether the handshake concluded successfully.
+    pub fn is_done(&self) -> bool {
+        self.state == InitiatorState::Done
+    }
+
+    fn fail_state(&mut self) -> HandshakeError {
+        let state = match self.state {
+            InitiatorState::AwaitConfirm => "await-confirm",
+            InitiatorState::AwaitAuthB => "await-auth-b",
+            InitiatorState::Done => "done",
+            InitiatorState::Failed => "failed",
+        };
+        HandshakeError::WrongState { state }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ResponderState {
+    AwaitHello,
+    AwaitAuthA,
+    Done,
+    Failed,
+}
+
+/// Node B's half of the handshake.
+#[derive(Debug)]
+pub struct Responder {
+    key: IdPrivateKey,
+    wire: WireConfig,
+    n_chips: usize,
+    nonce: Nonce,
+    state: ResponderState,
+    peer: Option<NodeId>,
+    code: Option<CodeId>,
+    replay: ReplayGuard,
+}
+
+impl Responder {
+    /// Creates a responder with a replay window of `replay_capacity`
+    /// remembered `(peer, nonce)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replay_capacity` is zero.
+    pub fn new(
+        key: IdPrivateKey,
+        wire: WireConfig,
+        n_chips: usize,
+        replay_capacity: usize,
+        rng: &mut SimRng,
+    ) -> Self {
+        let nonce = Nonce::random(rng, wire.l_n as u32);
+        Responder {
+            key,
+            wire,
+            n_chips,
+            nonce,
+            state: ResponderState::AwaitHello,
+            peer: None,
+            code: None,
+            replay: ReplayGuard::new(replay_capacity),
+        }
+    }
+
+    /// Handles a decoded HELLO heard on `code`; returns the CONFIRM frame
+    /// to send back on that code.
+    ///
+    /// # Errors
+    ///
+    /// [`HandshakeError`] on state or parse violations.
+    pub fn on_hello(&mut self, bits: &[bool], code: CodeId) -> Result<Vec<bool>, HandshakeError> {
+        if self.state != ResponderState::AwaitHello {
+            return Err(self.fail_state());
+        }
+        let (kind, peer) = self
+            .wire
+            .decode_hello(bits)
+            .map_err(|_| HandshakeError::Malformed)?;
+        if kind != MessageKind::Hello || peer == self.key.id() {
+            return Err(HandshakeError::Malformed);
+        }
+        self.peer = Some(peer);
+        self.code = Some(code);
+        self.state = ResponderState::AwaitAuthA;
+        Ok(self
+            .wire
+            .encode_hello(MessageKind::Confirm, self.key.id())
+            .expect("own id fits"))
+    }
+
+    /// Handles A's AUTH_A; on success returns the AUTH_B frame plus the
+    /// established session.
+    ///
+    /// # Errors
+    ///
+    /// [`HandshakeError`] on state, parse, tag, identity, or replay
+    /// violations.
+    pub fn on_auth_a(&mut self, bits: &[bool]) -> Result<(Vec<bool>, Established), HandshakeError> {
+        if self.state != ResponderState::AwaitAuthA {
+            return Err(self.fail_state());
+        }
+        let (peer, n_a, tag_bits) = self.wire.decode_auth(bits).map_err(|_| {
+            self.state = ResponderState::Failed;
+            HandshakeError::Malformed
+        })?;
+        if Some(peer) != self.peer {
+            self.state = ResponderState::Failed;
+            return Err(HandshakeError::PeerMismatch);
+        }
+        let k_ba = self.key.shared_key(peer);
+        if !self
+            .wire
+            .tag_matches(&tag_bits, &auth_tag(&k_ba, peer, n_a))
+        {
+            self.state = ResponderState::Failed;
+            return Err(HandshakeError::BadTag { claimed: peer });
+        }
+        // Replay defense: a (peer, nonce) pair is accepted once.
+        if !self.replay.check_and_record(peer, n_a) {
+            self.state = ResponderState::Failed;
+            return Err(HandshakeError::Replayed { peer });
+        }
+        let tag_b = auth_tag(&k_ba, self.key.id(), self.nonce);
+        let frame = self
+            .wire
+            .encode_auth(self.key.id(), self.nonce, &tag_b)
+            .expect("fields fit");
+        self.state = ResponderState::Done;
+        Ok((
+            frame,
+            Established {
+                peer,
+                discovery_code: self.code.expect("set on HELLO"),
+                session_code: derive_session_code(&k_ba, self.nonce, n_a, self.n_chips),
+            },
+        ))
+    }
+
+    /// Gives up (monitoring timer expired).
+    pub fn on_timeout(&mut self) -> HandshakeError {
+        self.state = ResponderState::Failed;
+        HandshakeError::TimedOut
+    }
+
+    /// Whether the handshake concluded successfully.
+    pub fn is_done(&self) -> bool {
+        self.state == ResponderState::Done
+    }
+
+    fn fail_state(&mut self) -> HandshakeError {
+        let state = match self.state {
+            ResponderState::AwaitHello => "await-hello",
+            ResponderState::AwaitAuthA => "await-auth-a",
+            ResponderState::Done => "done",
+            ResponderState::Failed => "failed",
+        };
+        HandshakeError::WrongState { state }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use jrsnd_crypto::ibc::Authority;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (Initiator, Responder) {
+        let params = Params::table1();
+        let wire = WireConfig::from_params(&params);
+        let authority = Authority::from_seed(b"handshake");
+        let mut rng = SimRng::seed_from_u64(seed);
+        let a = Initiator::new(authority.issue(NodeId(1)), wire, params.n_chips, &mut rng);
+        let b = Responder::new(
+            authority.issue(NodeId(2)),
+            wire,
+            params.n_chips,
+            64,
+            &mut rng,
+        );
+        (a, b)
+    }
+
+    /// Drives a full clean exchange, returning both sides' sessions.
+    fn run_clean(seed: u64) -> (Established, Established) {
+        let (mut a, mut b) = setup(seed);
+        let code = CodeId(7);
+        let hello = a.hello_frame();
+        let confirm = b.on_hello(&hello, code).unwrap();
+        let auth_a = a.on_confirm(&confirm, code).unwrap();
+        let (auth_b, est_b) = b.on_auth_a(&auth_a).unwrap();
+        let est_a = a.on_auth_b(&auth_b).unwrap();
+        assert!(a.is_done() && b.is_done());
+        (est_a, est_b)
+    }
+
+    #[test]
+    fn clean_exchange_establishes_matching_sessions() {
+        let (est_a, est_b) = run_clean(1);
+        assert_eq!(est_a.peer, NodeId(2));
+        assert_eq!(est_b.peer, NodeId(1));
+        assert_eq!(est_a.discovery_code, CodeId(7));
+        assert_eq!(est_a.session_code, est_b.session_code);
+        assert_eq!(est_a.session_code.len(), 512);
+    }
+
+    #[test]
+    fn sessions_differ_across_runs() {
+        let (a1, _) = run_clean(1);
+        let (a2, _) = run_clean(2);
+        assert_ne!(a1.session_code, a2.session_code, "fresh nonces, fresh code");
+    }
+
+    #[test]
+    fn tampered_auth_a_is_rejected() {
+        let (mut a, mut b) = setup(3);
+        let code = CodeId(0);
+        let confirm = b.on_hello(&a.hello_frame(), code).unwrap();
+        let mut auth_a = a.on_confirm(&confirm, code).unwrap();
+        // Flip a bit inside the MAC region.
+        let idx = auth_a.len() - 1;
+        auth_a[idx] = !auth_a[idx];
+        assert!(matches!(
+            b.on_auth_a(&auth_a),
+            Err(HandshakeError::BadTag { claimed: NodeId(1) })
+        ));
+        assert!(!b.is_done());
+    }
+
+    #[test]
+    fn replayed_auth_a_is_rejected_by_a_fresh_responder() {
+        // Capture a valid AUTH_A, then replay it to a new responder whose
+        // replay guard has already seen the (peer, nonce) pair.
+        let params = Params::table1();
+        let wire = WireConfig::from_params(&params);
+        let authority = Authority::from_seed(b"handshake");
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut a = Initiator::new(authority.issue(NodeId(1)), wire, params.n_chips, &mut rng);
+        let mut b = Responder::new(
+            authority.issue(NodeId(2)),
+            wire,
+            params.n_chips,
+            64,
+            &mut rng,
+        );
+        let code = CodeId(9);
+        let confirm = b.on_hello(&a.hello_frame(), code).unwrap();
+        let auth_a = a.on_confirm(&confirm, code).unwrap();
+        let (_, _) = b.on_auth_a(&auth_a).unwrap();
+        // The attacker replays the captured AUTH_A against the responder
+        // identity's next session, which shares the long-lived guard.
+        let mut b2 = Responder::new(
+            authority.issue(NodeId(2)),
+            wire,
+            params.n_chips,
+            64,
+            &mut rng,
+        );
+        let confirm2 = b2.on_hello(&a.hello_frame(), code).unwrap();
+        let _ = confirm2;
+        // Seed b2's guard with the observed pair, as a long-lived node
+        // would have.
+        assert!(b2.replay.check_and_record(NodeId(1), a.nonce));
+        assert!(matches!(
+            b2.on_auth_a(&auth_a),
+            Err(HandshakeError::Replayed { peer: NodeId(1) })
+        ));
+    }
+
+    #[test]
+    fn out_of_order_frames_are_rejected() {
+        let (mut a, mut b) = setup(5);
+        let code = CodeId(1);
+        // AUTH before HELLO on the responder.
+        let bogus_auth = vec![false; WireConfig::from_params(&Params::table1()).auth_bits()];
+        let hello = a.hello_frame();
+        let confirm = b.on_hello(&hello, code).unwrap();
+        assert!(matches!(
+            b.on_hello(&hello, code),
+            Err(HandshakeError::WrongState { .. })
+        ));
+        let _auth_a = a.on_confirm(&confirm, code).unwrap();
+        // CONFIRM twice on the initiator.
+        assert!(matches!(
+            a.on_confirm(&confirm, code),
+            Err(HandshakeError::WrongState { .. })
+        ));
+        let _ = bogus_auth;
+    }
+
+    #[test]
+    fn peer_substitution_is_rejected() {
+        // A third identity answers AUTH_B claiming to be someone else.
+        let params = Params::table1();
+        let wire = WireConfig::from_params(&params);
+        let authority = Authority::from_seed(b"handshake");
+        let mut rng = SimRng::seed_from_u64(6);
+        let mut a = Initiator::new(authority.issue(NodeId(1)), wire, params.n_chips, &mut rng);
+        let mut b = Responder::new(
+            authority.issue(NodeId(2)),
+            wire,
+            params.n_chips,
+            64,
+            &mut rng,
+        );
+        let mut mallory = Responder::new(
+            authority.issue(NodeId(3)),
+            wire,
+            params.n_chips,
+            64,
+            &mut rng,
+        );
+        let code = CodeId(2);
+        let confirm = b.on_hello(&a.hello_frame(), code).unwrap();
+        let auth_a = a.on_confirm(&confirm, code).unwrap();
+        // Mallory intercepts AUTH_A, but it is keyed to K_{A,B}: her
+        // K_{A,Mallory} check fails, so she cannot even accept it.
+        let _ = mallory.on_hello(&a.hello_frame(), code).unwrap();
+        assert!(matches!(
+            mallory.on_auth_a(&auth_a),
+            Err(HandshakeError::BadTag { claimed: NodeId(1) })
+        ));
+        // And a forged AUTH_B claiming a different identity than the one A
+        // confirmed with is rejected as a peer mismatch before any crypto.
+        let mallory_key = authority.issue(NodeId(3));
+        let n_m = Nonce::from_value(0x1234);
+        let tag = auth_tag(&mallory_key.shared_key(NodeId(1)), NodeId(3), n_m);
+        let forged = wire.encode_auth(NodeId(3), n_m, &tag).unwrap();
+        assert!(matches!(
+            a.on_auth_b(&forged),
+            Err(HandshakeError::PeerMismatch)
+        ));
+        assert!(!a.is_done());
+    }
+
+    #[test]
+    fn timeout_poisons_the_endpoint() {
+        let (mut a, mut b) = setup(7);
+        assert_eq!(a.on_timeout(), HandshakeError::TimedOut);
+        assert_eq!(b.on_timeout(), HandshakeError::TimedOut);
+        let code = CodeId(3);
+        assert!(matches!(
+            b.on_hello(&a.hello_frame(), code),
+            Err(HandshakeError::WrongState { state: "failed" })
+        ));
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        let (mut a, mut b) = setup(8);
+        let code = CodeId(4);
+        assert!(matches!(
+            b.on_hello(&[true; 3], code),
+            Err(HandshakeError::Malformed)
+        ));
+        // A CONFIRM whose type field says HELLO.
+        let confirm_wrong_kind = a.hello_frame();
+        let confirm = b.on_hello(&a.hello_frame(), code).unwrap();
+        let _ = confirm;
+        assert!(matches!(
+            a.on_confirm(&confirm_wrong_kind, code),
+            Err(HandshakeError::Malformed)
+        ));
+    }
+}

@@ -1,0 +1,228 @@
+//! The Monte-Carlo experiment driver: repeated seeded runs, parallel
+//! execution, and parameter sweeps — the machinery behind every figure.
+//!
+//! The paper reports "the average over 100 simulation runs, each with a
+//! different random seed"; [`run_many`] reproduces exactly that (the
+//! repetition count is configurable) using one worker thread per core.
+
+use crate::network::{run_once, ExperimentConfig, RunResult};
+use crate::params::Params;
+use jrsnd_sim::stats::RunningStats;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Aggregated metrics over many seeded runs of one configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Aggregate {
+    /// Per-run `P̂_D`.
+    pub p_dndp: RunningStats,
+    /// Per-run `P̂_M`.
+    pub p_mndp: RunningStats,
+    /// Per-run `P̂` (JR-SND, one M-NDP round — the paper's metric).
+    pub p_jrsnd: RunningStats,
+    /// Per-run steady-state `P̂` with M-NDP iterated to fixpoint.
+    pub p_jrsnd_steady: RunningStats,
+    /// Per-run mean D-NDP latency (s).
+    pub t_dndp: RunningStats,
+    /// Per-run mean M-NDP latency (s).
+    pub t_mndp: RunningStats,
+    /// Per-run `max(T̄_D, T̄_M)` (s).
+    pub t_jrsnd: RunningStats,
+    /// Per-run measured mean degree.
+    pub degree: RunningStats,
+    /// Per-run M-NDP epochs to fixpoint.
+    pub epochs: RunningStats,
+}
+
+impl Aggregate {
+    /// Folds one run into the aggregate.
+    pub fn absorb(&mut self, r: &RunResult) {
+        self.p_dndp.push(r.p_dndp());
+        self.p_mndp.push(r.p_mndp());
+        self.p_jrsnd.push(r.p_jrsnd());
+        self.p_jrsnd_steady.push(r.p_jrsnd_steady());
+        if r.dndp_latency.count() > 0 {
+            self.t_dndp.push(r.dndp_latency.mean());
+        }
+        if r.mndp_latency.count() > 0 {
+            self.t_mndp.push(r.mndp_latency.mean());
+        }
+        self.t_jrsnd.push(r.t_jrsnd());
+        self.degree.push(r.mean_degree);
+        self.epochs.push(r.mndp_epochs as f64);
+    }
+
+    /// Merges another aggregate (parallel reduction).
+    pub fn merge(&mut self, other: &Aggregate) {
+        self.p_dndp.merge(&other.p_dndp);
+        self.p_mndp.merge(&other.p_mndp);
+        self.p_jrsnd.merge(&other.p_jrsnd);
+        self.p_jrsnd_steady.merge(&other.p_jrsnd_steady);
+        self.t_dndp.merge(&other.t_dndp);
+        self.t_mndp.merge(&other.t_mndp);
+        self.t_jrsnd.merge(&other.t_jrsnd);
+        self.degree.merge(&other.degree);
+        self.epochs.merge(&other.epochs);
+    }
+
+    /// Number of runs absorbed.
+    pub fn runs(&self) -> u64 {
+        self.p_dndp.count()
+    }
+}
+
+/// Runs `reps` seeded instances of `config` in parallel (seeds
+/// `base_seed..base_seed+reps`) and aggregates them.
+///
+/// Deterministic: the result is independent of thread scheduling because
+/// every run is keyed by its own seed and [`RunningStats::merge`] is
+/// applied in ascending thread order.
+///
+/// # Panics
+///
+/// Panics if `reps == 0` or the parameters are invalid.
+pub fn run_many(config: &ExperimentConfig, reps: usize, base_seed: u64) -> Aggregate {
+    assert!(reps > 0, "need at least one repetition");
+    config.params.validate().expect("invalid parameters");
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(reps);
+    if threads <= 1 {
+        let mut agg = Aggregate::default();
+        for i in 0..reps {
+            agg.absorb(&run_once(config, base_seed + i as u64));
+        }
+        return agg;
+    }
+    let next = AtomicUsize::new(0);
+    let partials: Mutex<Vec<(usize, Aggregate)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let next = &next;
+            let partials = &partials;
+            scope.spawn(move || {
+                let mut local = Aggregate::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= reps {
+                        break;
+                    }
+                    local.absorb(&run_once(config, base_seed + i as u64));
+                }
+                partials.lock().expect("no poisoning").push((t, local));
+            });
+        }
+    });
+    let mut parts = partials.into_inner().expect("threads joined");
+    parts.sort_by_key(|(t, _)| *t);
+    let mut agg = Aggregate::default();
+    for (_, p) in parts {
+        agg.merge(&p);
+    }
+    agg
+}
+
+/// One point of a parameter sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPointResult {
+    /// The swept value.
+    pub x: f64,
+    /// Aggregated metrics at that value.
+    pub agg: Aggregate,
+}
+
+/// Sweeps a parameter: for each value, `set(params, value)` mutates a copy
+/// of the base configuration, which is then run `reps` times.
+///
+/// # Panics
+///
+/// Panics if a mutated parameter set fails validation.
+pub fn sweep<F>(
+    base: &ExperimentConfig,
+    values: &[f64],
+    reps: usize,
+    base_seed: u64,
+    set: F,
+) -> Vec<SweepPointResult>
+where
+    F: Fn(&mut Params, f64),
+{
+    values
+        .iter()
+        .map(|&x| {
+            let mut config = base.clone();
+            set(&mut config.params, x);
+            config.params.validate().expect("swept parameters invalid");
+            SweepPointResult {
+                x,
+                agg: run_many(&config, reps, base_seed),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dndp::DndpConfig;
+    use crate::jammer::JammerKind;
+
+    fn tiny_config() -> ExperimentConfig {
+        let mut params = Params::table1();
+        params.n = 150;
+        params.field_w = 1400.0;
+        params.field_h = 1400.0;
+        params.l = 10;
+        params.m = 30;
+        params.q = 5;
+        ExperimentConfig {
+            params,
+            jammer: JammerKind::Reactive,
+            dndp: DndpConfig::default(),
+        }
+    }
+
+    #[test]
+    fn run_many_counts_and_merges() {
+        let agg = run_many(&tiny_config(), 8, 1000);
+        assert_eq!(agg.runs(), 8);
+        assert!(agg.p_jrsnd.mean() >= agg.p_dndp.mean() - 1e-9);
+        assert!((0.0..=1.0).contains(&agg.p_dndp.mean()));
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let cfg = tiny_config();
+        let par = run_many(&cfg, 6, 500);
+        let mut seq = Aggregate::default();
+        for i in 0..6 {
+            seq.absorb(&run_once(&cfg, 500 + i));
+        }
+        assert_eq!(par.runs(), seq.runs());
+        assert!((par.p_dndp.mean() - seq.p_dndp.mean()).abs() < 1e-12);
+        assert!((par.p_jrsnd.variance() - seq.p_jrsnd.variance()).abs() < 1e-9);
+        assert!((par.t_dndp.mean() - seq.t_dndp.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_applies_parameter() {
+        let cfg = tiny_config();
+        let pts = sweep(&cfg, &[10.0, 30.0], 4, 2000, |p, v| p.m = v as usize);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].x, 10.0);
+        // More codes per node => higher direct-discovery probability.
+        assert!(
+            pts[1].agg.p_dndp.mean() > pts[0].agg.p_dndp.mean(),
+            "m=30 ({}) should beat m=10 ({})",
+            pts[1].agg.p_dndp.mean(),
+            pts[0].agg.p_dndp.mean()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_reps_rejected() {
+        run_many(&tiny_config(), 0, 0);
+    }
+}

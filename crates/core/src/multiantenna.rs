@@ -1,0 +1,163 @@
+//! Multi-antenna extension (the paper's stated future work).
+//!
+//! Section IV-A assumes exactly two DSSS antennas per node (one TX, one
+//! RX) and defers "the extension of JR-SND to an arbitrary number of
+//! antennas". This module works that extension out for `k` RX / `k` TX
+//! antenna pairs:
+//!
+//! * **Receive side** — `k` independent correlator chains split the scan
+//!   work, so the processing/buffering ratio becomes `λ_k = λ/k`, the
+//!   per-buffer scan time `t_p,k = λ_k·t_b`, and the HELLO repetition
+//!   count drops to `r_k = ⌈(λ/k + 1)(m+1)/m⌉`.
+//! * **Transmit side** — `k` transmitters broadcast `k` differently-coded
+//!   HELLO copies concurrently (distinct pseudorandom codes interfere
+//!   negligibly, Section IV-A), shrinking a round from `m·t_h` to
+//!   `⌈m/k⌉·t_h`.
+//!
+//! Both effects divide the identification phase of Theorem 2 by ≈ `k`;
+//! the authentication phase (`2Nl_f/R + 2t_key`) is compute/transmit
+//! bound and does not parallelise across antennas. Discovery
+//! *probability* is unchanged — jamming resilience comes from code
+//! secrecy, not antenna count.
+
+use crate::params::Params;
+
+/// Derived schedule quantities for a node with `k` antenna pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiAntennaSchedule {
+    /// Antenna pairs `k`.
+    pub antennas: usize,
+    /// Effective processing/buffering ratio `λ/k`.
+    pub lambda: f64,
+    /// Scan time per buffer, `(λ/k)·t_b` seconds.
+    pub t_p: f64,
+    /// HELLO rounds `r_k`.
+    pub r: usize,
+    /// Duration of one broadcast round, `⌈m/k⌉·t_h` seconds.
+    pub round_duration: f64,
+}
+
+/// Computes the `k`-antenna schedule.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the parameters are invalid.
+pub fn schedule(params: &Params, k: usize) -> MultiAntennaSchedule {
+    assert!(k >= 1, "need at least one antenna pair");
+    params.validate().expect("invalid parameters");
+    let base = params.schedule();
+    let lambda = base.lambda() / k as f64;
+    let m = params.m as f64;
+    MultiAntennaSchedule {
+        antennas: k,
+        lambda,
+        t_p: lambda * base.t_b(),
+        r: ((lambda + 1.0) * (m + 1.0) / m).ceil() as usize,
+        round_duration: params.m.div_ceil(k) as f64 * base.t_h(),
+    }
+}
+
+/// Theorem 2 generalised to `k` antenna pairs:
+/// `T̄_D(k) ≈ ρm(3m+4)N²l_h/(2k) + 2Nl_f/R + 2t_key`.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd::multiantenna::t_dndp_k;
+/// use jrsnd::params::Params;
+///
+/// let p = Params::table1();
+/// let t1 = t_dndp_k(&p, 1);
+/// let t4 = t_dndp_k(&p, 4);
+/// assert!(t4 < t1 / 2.0, "four antennas should cut latency deeply");
+/// ```
+pub fn t_dndp_k(params: &Params, k: usize) -> f64 {
+    assert!(k >= 1, "need at least one antenna pair");
+    let ident = crate::analysis::dndp::t_dndp_identification(params) / k as f64;
+    let auth =
+        2.0 * params.n_chips as f64 * params.l_f() as f64 / params.chip_rate + 2.0 * params.t_key;
+    ident + auth
+}
+
+/// The `m` a `k`-antenna node can afford at the same latency budget as a
+/// single-antenna node running `m₀` codes — more codes mean more sharing
+/// and a higher `P̂_D`, so extra antennas convert directly into discovery
+/// probability.
+///
+/// Solves `m(3m+4)/k = m₀(3m₀+4)` for `m`.
+pub fn equivalent_m(params: &Params, k: usize) -> usize {
+    assert!(k >= 1, "need at least one antenna pair");
+    let m0 = params.m as f64;
+    let target = m0 * (3.0 * m0 + 4.0) * k as f64;
+    // Quadratic 3m^2 + 4m - target = 0.
+    let m = (-4.0 + (16.0 + 12.0 * target).sqrt()) / 6.0;
+    m.floor() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_antenna_matches_baseline() {
+        let p = Params::table1();
+        let s1 = schedule(&p, 1);
+        let base = p.schedule();
+        assert!((s1.lambda - base.lambda()).abs() < 1e-12);
+        assert_eq!(s1.r, base.r());
+        assert!((s1.round_duration - p.m as f64 * base.t_h()).abs() < 1e-12);
+        assert!((t_dndp_k(&p, 1) - crate::analysis::dndp::t_dndp(&p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_shrinks_with_antennas() {
+        let p = Params::table1();
+        let mut last = f64::INFINITY;
+        for k in 1..=8 {
+            let t = t_dndp_k(&p, k);
+            assert!(t < last, "k={k}");
+            last = t;
+        }
+        // The parallelisable part scales ~1/k; the auth floor remains.
+        let auth_floor = 2.0 * 512.0 * 160.0 / 22e6 + 2.0 * 11e-3;
+        assert!(t_dndp_k(&p, 64) < auth_floor + 0.05);
+        assert!(t_dndp_k(&p, 64) > auth_floor);
+    }
+
+    #[test]
+    fn schedule_quantities_scale() {
+        let p = Params::table1();
+        let s1 = schedule(&p, 1);
+        let s2 = schedule(&p, 2);
+        let s4 = schedule(&p, 4);
+        assert!((s2.lambda - s1.lambda / 2.0).abs() < 1e-12);
+        assert!((s4.t_p - s1.t_p / 4.0).abs() < 1e-12);
+        assert!(s4.r <= s2.r && s2.r <= s1.r);
+        assert!((s4.round_duration - 25.0 * p.schedule().t_h()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equivalent_m_buys_discovery_probability() {
+        let p = Params::table1();
+        assert_eq!(equivalent_m(&p, 1), p.m);
+        let m4 = equivalent_m(&p, 4);
+        assert!(m4 > 190, "k=4 should roughly double m, got {m4}");
+        // And the bigger m raises the Theorem 1 bound.
+        let mut p4 = p.clone();
+        p4.m = m4;
+        assert!(crate::analysis::dndp::p_dndp_lower(&p4) > crate::analysis::dndp::p_dndp_lower(&p));
+        // ...at (approximately) unchanged latency.
+        let t_equiv = t_dndp_k(&p4, 4);
+        let t_base = t_dndp_k(&p, 1);
+        assert!(
+            (t_equiv - t_base).abs() / t_base < 0.05,
+            "equivalent-m latency {t_equiv} vs baseline {t_base}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one antenna")]
+    fn zero_antennas_rejected() {
+        schedule(&Params::table1(), 0);
+    }
+}

@@ -1,0 +1,340 @@
+//! One end-to-end network instance: placement → pre-distribution →
+//! compromise → D-NDP on every physical pair → M-NDP closure.
+//!
+//! This is the protocol-level simulator behind every figure: it mirrors
+//! the paper's own evaluation loop (2000 nodes uniform in 5000×5000 m²,
+//! reactive jamming, averages over seeded runs).
+
+use crate::dndp::{self, DndpConfig};
+use crate::jammer::{Jammer, JammerKind};
+use crate::mndp;
+use crate::params::Params;
+use crate::predist::CodeAssignment;
+use jrsnd_sim::rng::SimRng;
+use jrsnd_sim::stats::RunningStats;
+use jrsnd_sim::topology::{physical_graph, Graph};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Configuration of one experiment (a parameter set plus the adversary).
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// The system parameters.
+    pub params: Params,
+    /// The jamming behaviour.
+    pub jammer: JammerKind,
+    /// D-NDP protocol variant (redundancy ablation).
+    pub dndp: DndpConfig,
+}
+
+impl ExperimentConfig {
+    /// Table I defaults under reactive jamming — the paper's plotted
+    /// worst case.
+    pub fn paper_default() -> Self {
+        ExperimentConfig {
+            params: Params::table1(),
+            jammer: JammerKind::Reactive,
+            dndp: DndpConfig::default(),
+        }
+    }
+}
+
+/// The measured outcome of one seeded network instance.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Physical-neighbor pairs in the snapshot.
+    pub physical_pairs: usize,
+    /// Pairs discovered directly by D-NDP.
+    pub dndp_pairs: usize,
+    /// Additional pairs discovered by one M-NDP round over the
+    /// D-NDP-established links — the paper's evaluation setting.
+    pub mndp_pairs: usize,
+    /// Further pairs discovered by iterating M-NDP to fixpoint (newly
+    /// formed logical links relay later requests) — steady state under
+    /// periodic re-initiation; an extension beyond the paper's plots.
+    pub mndp_extra_steady_pairs: usize,
+    /// Physical pairs connected by a relay path of 2..=ν hops in the
+    /// D-NDP logical graph (their own direct edge excluded) — the
+    /// unconditional "discoverable via M-NDP" probability that Theorem 3
+    /// bounds and Fig. 2(a)/5(a) plot.
+    pub mndp_capable_pairs: usize,
+    /// Measured mean physical degree `g`.
+    pub mean_degree: f64,
+    /// M-NDP closure epochs until fixpoint.
+    pub mndp_epochs: usize,
+    /// Sampled D-NDP latencies (Theorem 2 timeline) in seconds.
+    pub dndp_latency: RunningStats,
+    /// Per-discovery M-NDP latencies (Theorem 4 at the actual hop count).
+    pub mndp_latency: RunningStats,
+}
+
+impl RunResult {
+    /// `P̂_D`: fraction of physical pairs discovered directly.
+    pub fn p_dndp(&self) -> f64 {
+        if self.physical_pairs == 0 {
+            return 0.0;
+        }
+        self.dndp_pairs as f64 / self.physical_pairs as f64
+    }
+
+    /// `P̂_M`: probability a physical pair is discoverable via M-NDP — a
+    /// relay path of 2..=ν hops exists through D-NDP-established links
+    /// (the quantity Theorem 3 lower-bounds; unconditional on the pair's
+    /// own D-NDP outcome, which is how the paper plots it).
+    pub fn p_mndp(&self) -> f64 {
+        if self.physical_pairs == 0 {
+            return 0.0;
+        }
+        self.mndp_capable_pairs as f64 / self.physical_pairs as f64
+    }
+
+    /// Conditional rescue rate of one M-NDP round: of the pairs D-NDP
+    /// missed, the fraction discovered (1.0 when nothing was left).
+    pub fn p_mndp_rescued(&self) -> f64 {
+        let remaining = self.physical_pairs - self.dndp_pairs;
+        if remaining == 0 {
+            return 1.0;
+        }
+        self.mndp_pairs as f64 / remaining as f64
+    }
+
+    /// Steady-state discovery probability with M-NDP iterated to fixpoint
+    /// (periodic re-initiation lets fresh logical links relay further
+    /// requests).
+    pub fn p_jrsnd_steady(&self) -> f64 {
+        if self.physical_pairs == 0 {
+            return 0.0;
+        }
+        (self.dndp_pairs + self.mndp_pairs + self.mndp_extra_steady_pairs) as f64
+            / self.physical_pairs as f64
+    }
+
+    /// `P̂`: overall JR-SND discovery probability.
+    pub fn p_jrsnd(&self) -> f64 {
+        if self.physical_pairs == 0 {
+            return 0.0;
+        }
+        (self.dndp_pairs + self.mndp_pairs) as f64 / self.physical_pairs as f64
+    }
+
+    /// `T̄ = max(T̄_D, T̄_M)` over the measured means.
+    pub fn t_jrsnd(&self) -> f64 {
+        self.dndp_latency.mean().max(self.mndp_latency.mean())
+    }
+}
+
+/// Runs one seeded network instance.
+///
+/// # Panics
+///
+/// Panics if the configuration's parameters fail validation.
+pub fn run_once(config: &ExperimentConfig, seed: u64) -> RunResult {
+    let params = &config.params;
+    params.validate().expect("invalid parameters");
+    let root = SimRng::seed_from_u64(seed);
+
+    // 1. Placement and physical topology.
+    let field = params.field();
+    let mut placement_rng = root.fork("placement", 0);
+    let positions = field.sample_uniform_n(params.n, &mut placement_rng);
+    let physical = physical_graph(field, &positions, params.range);
+    let mean_degree = physical.mean_degree();
+
+    // 2. Pre-distribution and node compromise.
+    let mut predist_rng = root.fork("predist", 0);
+    let assignment = CodeAssignment::generate(params, &mut predist_rng);
+    let mut compromise_rng = root.fork("compromise", 0);
+    let mut node_order: Vec<usize> = (0..params.n).collect();
+    node_order.shuffle(&mut compromise_rng);
+    let compromised_nodes: Vec<usize> = node_order[..params.q].to_vec();
+    let compromised_codes = assignment.compromised_codes(&compromised_nodes);
+    let jammer = Jammer::new(config.jammer, compromised_codes, params);
+
+    // 3. D-NDP on every physical pair.
+    let mut protocol_rng = root.fork("dndp", 0);
+    let mut logical = Graph::new(params.n);
+    let mut dndp_latency = RunningStats::new();
+    let mut dndp_pairs = 0usize;
+    for (u, v) in physical.edges() {
+        let shared = assignment.shared_codes(u, v);
+        let outcome =
+            dndp::simulate_pair_with(params, &shared, &jammer, config.dndp, &mut protocol_rng);
+        if outcome.discovered {
+            logical.add_edge(u, v);
+            dndp_pairs += 1;
+            if let Some(t) = outcome.latency {
+                dndp_latency.push(t);
+            }
+        }
+    }
+
+    // 4a. The Theorem 3 quantity: pairs with a pure relay path (2..=nu
+    //     hops, own edge excluded) through the D-NDP logical graph.
+    let mut mndp_capable_pairs = 0usize;
+    for (u, v) in physical.edges() {
+        let had_direct = logical.remove_edge(u, v);
+        if logical.shortest_path_within(u, v, params.nu).is_some() {
+            mndp_capable_pairs += 1;
+        }
+        if had_direct {
+            logical.add_edge(u, v);
+        }
+    }
+
+    // 4b. One M-NDP round over D-NDP links — the paper's setting. Relay
+    //     paths run over secret session codes, so they are jam-proof
+    //     under the z << N adversary model.
+    let single_round = mndp::closure_pass(&logical, &physical, params.nu);
+    let mut mndp_latency = RunningStats::new();
+    for &(u, v, hops) in &single_round {
+        logical.add_edge(u, v);
+        mndp_latency.push(crate::analysis::mndp::t_mndp(params, hops, mean_degree));
+    }
+
+    // 4c. Iterate to fixpoint: the steady state under periodic
+    //     re-initiation (extension metric).
+    let (extra, later_epochs) = mndp::discover_closure(&mut logical, &physical, params.nu);
+
+    RunResult {
+        physical_pairs: physical.edge_count(),
+        dndp_pairs,
+        mndp_pairs: single_round.len(),
+        mndp_extra_steady_pairs: extra.len(),
+        mndp_capable_pairs,
+        mean_degree,
+        mndp_epochs: usize::from(!single_round.is_empty()) + later_epochs,
+        dndp_latency,
+        mndp_latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A shrunken Table I (400 nodes in a 2200x2200 field keeps the same
+    /// density / degree) so unit tests stay fast.
+    pub fn small_config() -> ExperimentConfig {
+        let mut params = Params::table1();
+        params.n = 400;
+        params.field_w = 2236.0;
+        params.field_h = 2236.0;
+        params.l = 20;
+        params.m = 60;
+        params.q = 8;
+        ExperimentConfig {
+            params,
+            jammer: JammerKind::Reactive,
+            dndp: DndpConfig::default(),
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = small_config();
+        let a = run_once(&cfg, 42);
+        let b = run_once(&cfg, 42);
+        assert_eq!(a.physical_pairs, b.physical_pairs);
+        assert_eq!(a.dndp_pairs, b.dndp_pairs);
+        assert_eq!(a.mndp_pairs, b.mndp_pairs);
+        assert_eq!(a.mndp_epochs, b.mndp_epochs);
+        let c = run_once(&cfg, 43);
+        assert!(
+            a.dndp_pairs != c.dndp_pairs || a.physical_pairs != c.physical_pairs,
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn probabilities_are_well_formed() {
+        let r = run_once(&small_config(), 7);
+        assert!(r.physical_pairs > 100, "degenerate topology");
+        assert!((0.0..=1.0).contains(&r.p_dndp()));
+        assert!((0.0..=1.0).contains(&r.p_mndp()));
+        assert!((0.0..=1.0).contains(&r.p_jrsnd()));
+        assert!(r.p_jrsnd() >= r.p_dndp());
+        assert!(
+            r.dndp_pairs + r.mndp_pairs <= r.physical_pairs,
+            "cannot discover more pairs than exist"
+        );
+    }
+
+    #[test]
+    fn no_jammer_no_compromise_hits_share_probability() {
+        let mut cfg = small_config();
+        cfg.jammer = JammerKind::None;
+        cfg.params.q = 0;
+        let r = run_once(&cfg, 11);
+        let expect = crate::analysis::predist::pr_share_at_least_one(&cfg.params);
+        assert!(
+            (r.p_dndp() - expect).abs() < 0.03,
+            "measured {} vs theory {}",
+            r.p_dndp(),
+            expect
+        );
+        // Dense network: JR-SND should clean up nearly everything.
+        assert!(r.p_jrsnd() > 0.98, "p = {}", r.p_jrsnd());
+    }
+
+    #[test]
+    fn reactive_jamming_lowers_dndp_but_jrsnd_recovers() {
+        let mut strong = small_config();
+        strong.params.q = 40;
+        let weak = run_once(&small_config(), 13);
+        let hit = run_once(&strong, 13);
+        assert!(
+            hit.p_dndp() < weak.p_dndp(),
+            "more compromise, less discovery"
+        );
+        assert!(hit.p_jrsnd() >= hit.p_dndp());
+    }
+
+    #[test]
+    fn latencies_are_positive_and_bounded() {
+        let r = run_once(&small_config(), 17);
+        assert!(r.dndp_latency.count() > 0);
+        assert!(r.dndp_latency.mean() > 0.0 && r.dndp_latency.mean() < 10.0);
+        if r.mndp_latency.count() > 0 {
+            assert!(r.mndp_latency.mean() > 0.0 && r.mndp_latency.mean() < 10.0);
+        }
+        assert!(r.t_jrsnd() >= r.dndp_latency.mean());
+    }
+
+    #[test]
+    fn reactive_is_at_most_random_in_discovery() {
+        let mut reactive_cfg = small_config();
+        reactive_cfg.params.q = 30;
+        let mut random_cfg = reactive_cfg.clone();
+        random_cfg.jammer = JammerKind::Random;
+        // Average a few seeds to stabilise the comparison.
+        let mean = |cfg: &ExperimentConfig| -> f64 {
+            (0..5).map(|s| run_once(cfg, 100 + s).p_dndp()).sum::<f64>() / 5.0
+        };
+        let p_reactive = mean(&reactive_cfg);
+        let p_random = mean(&random_cfg);
+        assert!(
+            p_reactive <= p_random + 0.02,
+            "reactive {p_reactive} should not beat random {p_random}"
+        );
+    }
+
+    #[test]
+    fn empty_pair_edge_cases() {
+        let r = RunResult {
+            physical_pairs: 0,
+            dndp_pairs: 0,
+            mndp_pairs: 0,
+            mndp_extra_steady_pairs: 0,
+            mndp_capable_pairs: 0,
+            mean_degree: 0.0,
+            mndp_epochs: 0,
+            dndp_latency: RunningStats::new(),
+            mndp_latency: RunningStats::new(),
+        };
+        assert_eq!(r.p_dndp(), 0.0);
+        assert_eq!(r.p_mndp(), 0.0);
+        assert_eq!(r.p_mndp_rescued(), 1.0);
+        assert_eq!(r.p_jrsnd(), 0.0);
+        assert_eq!(r.p_jrsnd_steady(), 0.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Per-node protocol state: code set, keys, logical-neighbor table,
+//! revocation counters.
+
+use jrsnd_crypto::ibc::{IdPrivateKey, NodeId, Verifier};
+use jrsnd_dsss::code::CodeId;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A logical-neighbor record (established by D-NDP or M-NDP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogicalLink {
+    /// The peer's identity.
+    pub peer_id: NodeId,
+    /// How the link was discovered.
+    pub via: DiscoveryKind,
+}
+
+/// How a logical link came to exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscoveryKind {
+    /// Direct discovery (shared pre-distributed code).
+    Direct,
+    /// Multi-hop discovery through a jamming-resilient path.
+    MultiHop,
+}
+
+/// The mutable state of one MANET node.
+#[derive(Debug)]
+pub struct Node {
+    index: usize,
+    id: NodeId,
+    codes: Vec<CodeId>,
+    key: IdPrivateKey,
+    verifier: Verifier,
+    logical: BTreeMap<usize, LogicalLink>,
+    /// Invalid-request counters per code (Section V-D).
+    counters: HashMap<CodeId, u32>,
+    revoked: BTreeSet<CodeId>,
+    /// Signature verifications performed (DoS cost accounting).
+    verifications: u64,
+}
+
+impl Node {
+    /// Creates a node with its pre-distributed sorted code set and issued
+    /// key material.
+    pub fn new(index: usize, codes: Vec<CodeId>, key: IdPrivateKey, verifier: Verifier) -> Self {
+        debug_assert!(
+            codes.windows(2).all(|w| w[0] < w[1]),
+            "codes must be sorted"
+        );
+        let id = key.id();
+        Node {
+            index,
+            id,
+            codes,
+            key,
+            verifier,
+            logical: BTreeMap::new(),
+            counters: HashMap::new(),
+            revoked: BTreeSet::new(),
+            verifications: 0,
+        }
+    }
+
+    /// The node's array index in the network.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The node's identity (its IBC public key).
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The pre-distributed code set ℂ (including locally revoked codes).
+    pub fn codes(&self) -> &[CodeId] {
+        &self.codes
+    }
+
+    /// Codes still accepted for spreading/de-spreading (ℂ minus revoked).
+    pub fn active_codes(&self) -> Vec<CodeId> {
+        self.codes
+            .iter()
+            .copied()
+            .filter(|c| !self.revoked.contains(c))
+            .collect()
+    }
+
+    /// The node's ID-based private key.
+    pub fn private_key(&self) -> &IdPrivateKey {
+        &self.key
+    }
+
+    /// The signature verifier (system public parameters).
+    pub fn verifier(&self) -> &Verifier {
+        &self.verifier
+    }
+
+    /// Records a signature verification (for DoS cost accounting) and
+    /// returns its result.
+    pub fn verify_counted(&mut self, message: &[u8], sig: &jrsnd_crypto::ibc::IbSignature) -> bool {
+        self.verifications += 1;
+        self.verifier.verify(message, sig)
+    }
+
+    /// Total signature verifications performed so far.
+    pub fn verifications(&self) -> u64 {
+        self.verifications
+    }
+
+    /// Whether `peer` (by index) is a logical neighbor.
+    pub fn is_logical(&self, peer: usize) -> bool {
+        self.logical.contains_key(&peer)
+    }
+
+    /// Adds a logical link; returns `false` if it already existed.
+    pub fn add_logical(&mut self, peer: usize, peer_id: NodeId, via: DiscoveryKind) -> bool {
+        self.logical
+            .insert(peer, LogicalLink { peer_id, via })
+            .is_none()
+    }
+
+    /// Drops a logical link (e.g. monitoring timeout after the peer moved
+    /// away). Returns `true` if it existed.
+    pub fn remove_logical(&mut self, peer: usize) -> bool {
+        self.logical.remove(&peer).is_some()
+    }
+
+    /// Indices of all logical neighbors, ascending.
+    pub fn logical_indices(&self) -> Vec<usize> {
+        self.logical.keys().copied().collect()
+    }
+
+    /// Identities of all logical neighbors (the ℒ list carried in M-NDP
+    /// messages), ascending by index.
+    pub fn logical_ids(&self) -> Vec<NodeId> {
+        self.logical.values().map(|l| l.peer_id).collect()
+    }
+
+    /// Number of logical neighbors.
+    pub fn logical_degree(&self) -> usize {
+        self.logical.len()
+    }
+
+    /// Records an invalid neighbor-discovery request received on `code`
+    /// and locally revokes the code once the counter exceeds `gamma`.
+    /// Returns `true` if this call triggered the revocation.
+    pub fn note_invalid_request(&mut self, code: CodeId, gamma: u32) -> bool {
+        if self.revoked.contains(&code) || !self.codes.contains(&code) {
+            return false;
+        }
+        let counter = self.counters.entry(code).or_insert(0);
+        *counter += 1;
+        if *counter > gamma {
+            self.revoked.insert(code);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `code` has been locally revoked.
+    pub fn is_revoked(&self, code: CodeId) -> bool {
+        self.revoked.contains(&code)
+    }
+
+    /// Number of locally revoked codes.
+    pub fn revoked_count(&self) -> usize {
+        self.revoked.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jrsnd_crypto::ibc::Authority;
+
+    fn make_node(index: usize) -> Node {
+        let authority = Authority::from_seed(b"node-test");
+        let key = authority.issue(NodeId(index as u32));
+        Node::new(
+            index,
+            vec![CodeId(1), CodeId(5), CodeId(9)],
+            key,
+            authority.verifier(),
+        )
+    }
+
+    #[test]
+    fn identity_and_codes() {
+        let n = make_node(3);
+        assert_eq!(n.index(), 3);
+        assert_eq!(n.id(), NodeId(3));
+        assert_eq!(n.codes().len(), 3);
+        assert_eq!(n.active_codes(), n.codes());
+    }
+
+    #[test]
+    fn logical_links_lifecycle() {
+        let mut n = make_node(0);
+        assert!(!n.is_logical(7));
+        assert!(n.add_logical(7, NodeId(7), DiscoveryKind::Direct));
+        assert!(
+            !n.add_logical(7, NodeId(7), DiscoveryKind::Direct),
+            "duplicate"
+        );
+        assert!(n.is_logical(7));
+        n.add_logical(2, NodeId(2), DiscoveryKind::MultiHop);
+        assert_eq!(n.logical_indices(), vec![2, 7]);
+        assert_eq!(n.logical_ids(), vec![NodeId(2), NodeId(7)]);
+        assert_eq!(n.logical_degree(), 2);
+        assert!(n.remove_logical(7));
+        assert!(!n.remove_logical(7));
+        assert_eq!(n.logical_degree(), 1);
+    }
+
+    #[test]
+    fn revocation_threshold_gamma() {
+        let mut n = make_node(0);
+        let gamma = 3;
+        for i in 0..gamma {
+            assert!(!n.note_invalid_request(CodeId(5), gamma), "hit {i}");
+            assert!(!n.is_revoked(CodeId(5)));
+        }
+        // The (gamma+1)-th invalid request exceeds the threshold.
+        assert!(n.note_invalid_request(CodeId(5), gamma));
+        assert!(n.is_revoked(CodeId(5)));
+        assert_eq!(n.revoked_count(), 1);
+        assert_eq!(n.active_codes(), vec![CodeId(1), CodeId(9)]);
+        // Further hits on a revoked code do nothing.
+        assert!(!n.note_invalid_request(CodeId(5), gamma));
+    }
+
+    #[test]
+    fn unknown_codes_are_not_counted() {
+        let mut n = make_node(0);
+        assert!(!n.note_invalid_request(CodeId(99), 1));
+        assert!(!n.is_revoked(CodeId(99)));
+        assert_eq!(n.revoked_count(), 0);
+    }
+
+    #[test]
+    fn verification_counter() {
+        let authority = Authority::from_seed(b"node-test");
+        let signer = authority.issue(NodeId(42));
+        let mut n = make_node(0);
+        let sig = signer.sign(b"msg");
+        assert!(n.verify_counted(b"msg", &sig));
+        assert!(!n.verify_counted(b"other", &sig));
+        assert_eq!(n.verifications(), 2);
+    }
+}

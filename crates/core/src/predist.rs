@@ -1,0 +1,453 @@
+//! Random spread-code pre-distribution (Section V-A).
+//!
+//! Before deployment the authority runs `m` rounds; in round `i` it
+//! randomly partitions the `n` nodes into `w = ⌈n/l⌉` subsets of size `l`
+//! and assigns code `C_{w(i−1)+j}` to subset `j`. After `m` rounds every
+//! node holds exactly `m` codes and every code is held by **at most** `l`
+//! nodes — the knob that bounds the blast radius of a node compromise.
+//! When `l ∤ n`, the shortfall is covered by *virtual nodes* whose code
+//! sets can later be handed to joining nodes.
+
+use crate::params::Params;
+use jrsnd_crypto::prf::prf_expand_bits;
+use jrsnd_dsss::code::{CodeId, CodePool, SpreadCode};
+use jrsnd_sim::rng::SimRng;
+use rand::seq::SliceRandom;
+use std::collections::HashSet;
+
+/// Derives the authority's secret code pool ℂ = {C_i} deterministically
+/// from its master secret: code `i` is `PRF(secret, "code-pool", i)`
+/// expanded to `n_chips` chips. Only parties holding the secret can
+/// regenerate any code — the paper's "only the authority has the full
+/// knowledge of ℂ".
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd::predist::derive_code_pool;
+///
+/// let pool = derive_code_pool(b"authority master secret", 100, 512);
+/// assert_eq!(pool.len(), 100);
+/// // Deterministic: the authority can re-derive a code to provision a
+/// // joining node without storing the pool.
+/// let again = derive_code_pool(b"authority master secret", 100, 512);
+/// assert_eq!(
+///     pool.code(jrsnd_dsss::code::CodeId(7)),
+///     again.code(jrsnd_dsss::code::CodeId(7))
+/// );
+/// ```
+///
+/// # Panics
+///
+/// Panics if `s == 0` or `n_chips == 0`.
+pub fn derive_code_pool(secret: &[u8], s: usize, n_chips: usize) -> CodePool {
+    assert!(s > 0 && n_chips > 0, "pool and code sizes must be positive");
+    let codes = (0..s)
+        .map(|i| {
+            let bits = prf_expand_bits(
+                secret,
+                b"jr-snd/code-pool",
+                &(i as u64).to_be_bytes(),
+                n_chips,
+            );
+            SpreadCode::from_bits(&bits)
+        })
+        .collect();
+    CodePool::from_codes(codes)
+}
+
+/// The result of pre-distribution: who holds which codes.
+#[derive(Debug, Clone)]
+pub struct CodeAssignment {
+    /// `codes_of[v]` = sorted code ids held by node `v` (real nodes first,
+    /// then any virtual nodes).
+    codes_of: Vec<Vec<CodeId>>,
+    /// `holders_of[c]` = sorted node indices holding code `c`.
+    holders_of: Vec<Vec<usize>>,
+    /// Number of real nodes (`n`); entries beyond are virtual.
+    n_real: usize,
+    /// Codes per node (`m`).
+    m: usize,
+    /// Sharing bound (`l`).
+    l: usize,
+}
+
+impl CodeAssignment {
+    /// Runs the `m`-round partition assignment for `params`, drawing
+    /// randomness from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail validation.
+    pub fn generate(params: &Params, rng: &mut SimRng) -> Self {
+        params.validate().expect("invalid parameters");
+        let n = params.n;
+        let l = params.l;
+        let m = params.m;
+        let w = params.partitions();
+        let total = w * l; // real + virtual nodes
+        let s = w * m;
+        let mut codes_of = vec![Vec::with_capacity(m); total];
+        let mut holders_of = vec![Vec::new(); s];
+        let mut order: Vec<usize> = (0..total).collect();
+        for round in 0..m {
+            order.shuffle(&mut rng.fork("predist-round", round as u64));
+            for (j, chunk) in order.chunks(l).enumerate() {
+                let code = CodeId((w * round + j) as u32);
+                for &node in chunk {
+                    codes_of[node].push(code);
+                    holders_of[code.0 as usize].push(node);
+                }
+            }
+        }
+        for list in &mut codes_of {
+            list.sort_unstable();
+        }
+        for list in &mut holders_of {
+            list.sort_unstable();
+        }
+        CodeAssignment {
+            codes_of,
+            holders_of,
+            n_real: n,
+            m,
+            l,
+        }
+    }
+
+    /// Number of real nodes.
+    pub fn n_real(&self) -> usize {
+        self.n_real
+    }
+
+    /// Number of virtual nodes (0 when `l | n`).
+    pub fn n_virtual(&self) -> usize {
+        self.codes_of.len() - self.n_real
+    }
+
+    /// Codes per node `m`.
+    pub fn codes_per_node(&self) -> usize {
+        self.m
+    }
+
+    /// The sharing bound `l`.
+    pub fn sharing_bound(&self) -> usize {
+        self.l
+    }
+
+    /// Total number of codes in the pool.
+    pub fn pool_size(&self) -> usize {
+        self.holders_of.len()
+    }
+
+    /// The sorted code set ℂ_v of node `v` (real or virtual).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn codes_of(&self, v: usize) -> &[CodeId] {
+        &self.codes_of[v]
+    }
+
+    /// The sorted holders of code `c` (including virtual nodes).
+    pub fn holders_of(&self, c: CodeId) -> &[usize] {
+        &self.holders_of[c.0 as usize]
+    }
+
+    /// Sorted intersection ℂ_u ∩ ℂ_v.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use jrsnd::params::Params;
+    /// use jrsnd::predist::CodeAssignment;
+    /// use jrsnd_sim::rng::SimRng;
+    /// use rand::SeedableRng;
+    ///
+    /// let mut p = Params::table1();
+    /// p.n = 200; p.l = 20; p.m = 30;
+    /// let mut rng = SimRng::seed_from_u64(1);
+    /// let assignment = CodeAssignment::generate(&p, &mut rng);
+    /// let shared = assignment.shared_codes(0, 1);
+    /// // Expected ~ m*(l-1)/(n-1) = 30*19/199 ~ 2.9 shared codes.
+    /// assert!(shared.len() < 15);
+    /// ```
+    pub fn shared_codes(&self, u: usize, v: usize) -> Vec<CodeId> {
+        let (a, b) = (&self.codes_of[u], &self.codes_of[v]);
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// The set of codes exposed by compromising the given nodes.
+    pub fn compromised_codes<'a, I>(&self, compromised_nodes: I) -> HashSet<CodeId>
+    where
+        I: IntoIterator<Item = &'a usize>,
+    {
+        let mut set = HashSet::new();
+        for &v in compromised_nodes {
+            set.extend(self.codes_of[v].iter().copied());
+        }
+        set
+    }
+
+    /// Hands a virtual node's code set to a joining node, growing the
+    /// assignment by one real node. Returns the new node's index, or
+    /// `None` when no virtual slot remains (the authority must then run a
+    /// fresh distribution round per Section V-A).
+    pub fn admit_new_node(&mut self) -> Option<usize> {
+        if self.n_virtual() == 0 {
+            return None;
+        }
+        // The first virtual slot becomes real; its codes are already
+        // assigned consistently in holders_of.
+        let idx = self.n_real;
+        self.n_real += 1;
+        Some(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn small_params() -> Params {
+        let mut p = Params::table1();
+        p.n = 120;
+        p.l = 12;
+        p.m = 25;
+        p.q = 5;
+        p
+    }
+
+    fn gen(p: &Params, seed: u64) -> CodeAssignment {
+        let mut rng = SimRng::seed_from_u64(seed);
+        CodeAssignment::generate(p, &mut rng)
+    }
+
+    #[test]
+    fn every_node_gets_exactly_m_distinct_codes() {
+        let p = small_params();
+        let a = gen(&p, 1);
+        for v in 0..a.n_real() + a.n_virtual() {
+            let codes = a.codes_of(v);
+            assert_eq!(codes.len(), p.m, "node {v}");
+            let distinct: HashSet<_> = codes.iter().collect();
+            assert_eq!(distinct.len(), p.m, "node {v} has duplicate codes");
+        }
+    }
+
+    #[test]
+    fn every_code_held_by_exactly_l_nodes_when_divisible() {
+        let p = small_params(); // 120 / 12 = 10 partitions, no virtual nodes
+        let a = gen(&p, 2);
+        assert_eq!(a.n_virtual(), 0);
+        assert_eq!(a.pool_size(), p.pool_size());
+        for c in 0..a.pool_size() {
+            assert_eq!(a.holders_of(CodeId(c as u32)).len(), p.l, "code {c}");
+        }
+    }
+
+    #[test]
+    fn virtual_nodes_cover_non_divisible_n() {
+        let mut p = small_params();
+        p.n = 115; // 115 = 12*10 - 5: five virtual nodes
+        let a = gen(&p, 3);
+        assert_eq!(a.n_real(), 115);
+        assert_eq!(a.n_virtual(), 5);
+        // Codes are held by at most l nodes, counting virtual ones exactly l.
+        for c in 0..a.pool_size() {
+            assert_eq!(a.holders_of(CodeId(c as u32)).len(), p.l);
+        }
+    }
+
+    #[test]
+    fn codes_of_and_holders_of_are_consistent() {
+        let p = small_params();
+        let a = gen(&p, 4);
+        for v in 0..a.n_real() {
+            for &c in a.codes_of(v) {
+                assert!(a.holders_of(c).binary_search(&v).is_ok());
+            }
+        }
+        for c in 0..a.pool_size() {
+            for &v in a.holders_of(CodeId(c as u32)) {
+                assert!(a.codes_of(v).binary_search(&CodeId(c as u32)).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn round_codes_come_from_round_band() {
+        // Round i assigns codes w*i .. w*(i+1): each node gets exactly one
+        // code from each band.
+        let p = small_params();
+        let a = gen(&p, 5);
+        let w = p.partitions();
+        for v in 0..p.n {
+            for round in 0..p.m {
+                let band = (w * round) as u32..(w * (round + 1)) as u32;
+                let in_band = a.codes_of(v).iter().filter(|c| band.contains(&c.0)).count();
+                assert_eq!(in_band, 1, "node {v} round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_share_count_matches_eq1() {
+        // Pr[x] = C(m,x) p^x (1-p)^(m-x), p = (l-1)/(n-1). Check the mean
+        // m*p over many pairs.
+        let p = small_params();
+        let a = gen(&p, 6);
+        let mut total_shared = 0usize;
+        let mut pairs = 0usize;
+        for u in 0..60 {
+            for v in (u + 1)..60 {
+                total_shared += a.shared_codes(u, v).len();
+                pairs += 1;
+            }
+        }
+        let mean = total_shared as f64 / pairs as f64;
+        let expect = p.m as f64 * p.share_prob_per_round();
+        // 60 choose 2 = 1770 pairs, each ~Binomial(25, 0.0924): allow 10%.
+        assert!(
+            (mean - expect).abs() / expect < 0.10,
+            "mean {mean}, expect {expect}"
+        );
+    }
+
+    #[test]
+    fn compromise_exposes_exactly_member_codes() {
+        let p = small_params();
+        let a = gen(&p, 7);
+        let compromised = vec![3usize, 17, 42];
+        let codes = a.compromised_codes(&compromised);
+        let mut expect = HashSet::new();
+        for &v in &compromised {
+            expect.extend(a.codes_of(v).iter().copied());
+        }
+        assert_eq!(codes, expect);
+        assert!(codes.len() <= 3 * p.m);
+        assert!(
+            codes.len() > 2 * p.m / 2,
+            "overlap shouldn't collapse the set"
+        );
+    }
+
+    #[test]
+    fn admit_new_node_consumes_virtual_slots() {
+        let mut p = small_params();
+        p.n = 115;
+        let mut a = gen(&p, 8);
+        let mut admitted = Vec::new();
+        while let Some(v) = a.admit_new_node() {
+            admitted.push(v);
+        }
+        assert_eq!(admitted, vec![115, 116, 117, 118, 119]);
+        assert_eq!(a.n_real(), 120);
+        assert_eq!(a.n_virtual(), 0);
+        assert!(a.admit_new_node().is_none());
+        // The admitted node's codes are real assignments.
+        assert_eq!(a.codes_of(115).len(), p.m);
+    }
+
+    #[test]
+    fn derived_pool_is_secret_keyed_and_well_formed() {
+        let pool = derive_code_pool(b"secret-1", 64, 256);
+        assert_eq!(pool.len(), 64);
+        // Distinct codes, near-orthogonal.
+        for i in 0..8u32 {
+            for j in (i + 1)..8 {
+                let c = pool
+                    .code(CodeId(i))
+                    .chips()
+                    .correlate(pool.code(CodeId(j)).chips())
+                    .abs();
+                assert!(c < 0.25, "|corr({i},{j})| = {c}");
+            }
+        }
+        // A different secret yields a disjoint pool.
+        let other = derive_code_pool(b"secret-2", 64, 256);
+        assert_ne!(pool.code(CodeId(0)), other.code(CodeId(0)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = small_params();
+        let a = gen(&p, 9);
+        let b = gen(&p, 9);
+        for v in 0..p.n {
+            assert_eq!(a.codes_of(v), b.codes_of(v));
+        }
+        let c = gen(&p, 10);
+        let differs = (0..p.n).any(|v| a.codes_of(v) != c.codes_of(v));
+        assert!(differs);
+    }
+
+    #[test]
+    fn shared_codes_is_symmetric_intersection() {
+        let p = small_params();
+        let a = gen(&p, 11);
+        for (u, v) in [(0, 1), (5, 80), (33, 99)] {
+            let uv = a.shared_codes(u, v);
+            let vu = a.shared_codes(v, u);
+            assert_eq!(uv, vu);
+            for c in &uv {
+                assert!(a.codes_of(u).contains(c) && a.codes_of(v).contains(c));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn invariants_hold_for_arbitrary_shapes(
+            n in 10usize..200,
+            l in 2usize..30,
+            m in 1usize..40,
+            seed in 0u64..1000,
+        ) {
+            let mut p = Params::table1();
+            p.n = n;
+            p.l = l.min(n);
+            if p.l < 2 { p.l = 2; }
+            p.m = m;
+            p.q = 0;
+            let mut rng = SimRng::seed_from_u64(seed);
+            let a = CodeAssignment::generate(&p, &mut rng);
+            // Every real node: m distinct codes.
+            for v in 0..a.n_real() {
+                prop_assert_eq!(a.codes_of(v).len(), p.m);
+            }
+            // Every code: held by at most l nodes, at least 1.
+            for c in 0..a.pool_size() {
+                let h = a.holders_of(CodeId(c as u32)).len();
+                prop_assert!(h >= 1 && h <= p.l, "code {} held by {}", c, h);
+            }
+            // Total assignments balance: (real+virtual)*m == sum holders.
+            let total: usize = (0..a.pool_size())
+                .map(|c| a.holders_of(CodeId(c as u32)).len())
+                .sum();
+            prop_assert_eq!(total, (a.n_real() + a.n_virtual()) * p.m);
+        }
+    }
+}

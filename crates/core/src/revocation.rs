@@ -1,0 +1,330 @@
+//! The DoS attack on neighbor discovery and JR-SND's revocation defense
+//! (Section V-D).
+//!
+//! Against schemes built on *public* communication strategies, an attacker
+//! can inject unlimited fake neighbor-discovery requests, forcing every
+//! node into endless expensive signature verifications. JR-SND constrains
+//! the attack twice over: fakes can only be spread with *compromised*
+//! codes (each heard by at most `l − 1` non-compromised holders), and each
+//! victim locally revokes a code once its invalid-request counter exceeds
+//! `γ` — capping the damage per compromised code at roughly `(l−1)·γ`
+//! verifications network-wide.
+
+use crate::node::Node;
+use crate::params::Params;
+use crate::predist::CodeAssignment;
+use jrsnd_crypto::ibc::{Authority, IbSignature, NodeId};
+use jrsnd_dsss::code::CodeId;
+
+/// Outcome of a DoS injection campaign against JR-SND.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DosOutcome {
+    /// Fake requests the attacker transmitted.
+    pub injected: u64,
+    /// Fake requests actually received by some non-compromised node
+    /// (i.e. spread with a code the victim still accepted).
+    pub received: u64,
+    /// Signature verifications wasted by legitimate nodes.
+    pub verifications: u64,
+    /// `(code, node)` local revocations triggered.
+    pub revocations: u64,
+    /// Total CPU time burned on verifications, `verifications · t_ver`
+    /// seconds.
+    pub cpu_seconds: f64,
+}
+
+/// Simulates an attacker that cycles through its compromised codes,
+/// injecting `injections_per_code` fake requests with each, against nodes
+/// defending with threshold `params.gamma`.
+///
+/// Returns the outcome; the theoretical cap is
+/// `compromised_codes · (l−1) · (γ+1)` verifications (each victim performs
+/// `γ+1` verifications on a code before the counter *exceeds* `γ`).
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd::params::Params;
+/// use jrsnd::predist::CodeAssignment;
+/// use jrsnd::revocation::simulate_dos;
+/// use jrsnd_sim::rng::SimRng;
+/// use rand::SeedableRng;
+///
+/// let mut p = Params::table1();
+/// p.n = 100; p.l = 10; p.m = 20; p.q = 2;
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let assignment = CodeAssignment::generate(&p, &mut rng);
+/// let out = simulate_dos(&p, &assignment, &[0, 1], 1_000_000);
+/// // Unbounded injections, bounded damage:
+/// let cap = 2 * p.m as u64 * (p.l as u64 - 1) * (p.gamma as u64 + 1);
+/// assert!(out.verifications <= cap);
+/// ```
+pub fn simulate_dos(
+    params: &Params,
+    assignment: &CodeAssignment,
+    compromised_nodes: &[usize],
+    injections_per_code: u64,
+) -> DosOutcome {
+    let authority = Authority::from_seed(b"jr-snd/dos-study");
+    let verifier = authority.verifier();
+    // Build the victims: every non-compromised real node.
+    let compromised: std::collections::HashSet<usize> = compromised_nodes.iter().copied().collect();
+    let mut nodes: Vec<Node> = (0..assignment.n_real())
+        .map(|i| {
+            Node::new(
+                i,
+                assignment.codes_of(i).to_vec(),
+                authority.issue(NodeId(i as u32)),
+                verifier.clone(),
+            )
+        })
+        .collect();
+
+    let mut attack_codes: Vec<CodeId> = assignment
+        .compromised_codes(compromised_nodes)
+        .into_iter()
+        .collect();
+    attack_codes.sort_unstable();
+
+    let mut out = DosOutcome::default();
+    for &code in &attack_codes {
+        // The attacker's fake request: a garbage signature claiming some
+        // identity; every receiver must verify before it can reject.
+        let fake = IbSignature::forged(NodeId(u32::MAX), 0xDD);
+        for round in 0..injections_per_code {
+            out.injected += 1;
+            let mut anyone_listening = false;
+            for &holder in assignment.holders_of(code) {
+                if holder >= nodes.len() || compromised.contains(&holder) {
+                    continue; // virtual or attacker-controlled
+                }
+                let node = &mut nodes[holder];
+                if node.is_revoked(code) {
+                    continue;
+                }
+                anyone_listening = true;
+                out.received += 1;
+                let ok = node.verify_counted(b"fake neighbor-discovery request", &fake);
+                debug_assert!(!ok, "forged signatures never verify");
+                out.verifications += 1;
+                if node.note_invalid_request(code, params.gamma) {
+                    out.revocations += 1;
+                }
+            }
+            if !anyone_listening {
+                // All holders revoked this code: further injections with it
+                // are pure wasted attacker effort; skip ahead.
+                out.injected += injections_per_code - round - 1;
+                break;
+            }
+        }
+    }
+    out.cpu_seconds = out.verifications as f64 * params.t_ver;
+    out
+}
+
+/// The analytic damage cap per compromised code:
+/// `(l − 1) · (γ + 1)` verifications (the paper states `(l−1)γ`; the +1
+/// accounts for "exceeds γ" being a strict comparison).
+pub fn verification_cap_per_code(params: &Params) -> u64 {
+    (params.l as u64 - 1) * (u64::from(params.gamma) + 1)
+}
+
+/// Outcome of the γ false-revocation ablation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FalseRevocationOutcome {
+    /// Legitimate requests processed.
+    pub legitimate_requests: u64,
+    /// Requests whose signature check failed benignly (residual decode
+    /// corruption under jamming).
+    pub benign_failures: u64,
+    /// Codes wrongly revoked by some node.
+    pub false_revocations: u64,
+    /// Fraction of (node, code) capacity lost to false revocation.
+    pub capacity_lost: f64,
+}
+
+/// The flip side of the γ knob: benign verification failures (a jammed
+/// bit slipping past the ECC corrupts a signature) also bump the
+/// counters, so a small γ that caps DoS damage quickly can revoke
+/// *innocent* codes. Simulates `requests_per_code` legitimate requests
+/// per code with each failing benignly with probability `benign_rate`.
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= benign_rate <= 1.0`.
+pub fn simulate_false_revocation(
+    params: &Params,
+    assignment: &CodeAssignment,
+    benign_rate: f64,
+    requests_per_code: u64,
+    rng: &mut jrsnd_sim::rng::SimRng,
+) -> FalseRevocationOutcome {
+    assert!(
+        (0.0..=1.0).contains(&benign_rate),
+        "benign failure rate out of range"
+    );
+    use rand::Rng;
+    let authority = Authority::from_seed(b"jr-snd/false-revocation");
+    let verifier = authority.verifier();
+    let mut nodes: Vec<Node> = (0..assignment.n_real())
+        .map(|i| {
+            Node::new(
+                i,
+                assignment.codes_of(i).to_vec(),
+                authority.issue(NodeId(i as u32)),
+                verifier.clone(),
+            )
+        })
+        .collect();
+    let mut out = FalseRevocationOutcome::default();
+    let total_slots = (assignment.n_real() * params.m) as f64;
+    for c in 0..assignment.pool_size() {
+        let code = CodeId(c as u32);
+        for _ in 0..requests_per_code {
+            for &holder in assignment.holders_of(code) {
+                if holder >= nodes.len() || nodes[holder].is_revoked(code) {
+                    continue;
+                }
+                out.legitimate_requests += 1;
+                if rng.gen_bool(benign_rate) {
+                    out.benign_failures += 1;
+                    if nodes[holder].note_invalid_request(code, params.gamma) {
+                        out.false_revocations += 1;
+                    }
+                }
+            }
+        }
+    }
+    out.capacity_lost = out.false_revocations as f64 / total_slots;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jrsnd_sim::rng::SimRng;
+    use rand::SeedableRng;
+
+    fn setup(q: usize) -> (Params, CodeAssignment, Vec<usize>) {
+        let mut p = Params::table1();
+        p.n = 120;
+        p.l = 12;
+        p.m = 24;
+        p.q = q;
+        p.gamma = 5;
+        let mut rng = SimRng::seed_from_u64(77);
+        let a = CodeAssignment::generate(&p, &mut rng);
+        let compromised: Vec<usize> = (0..q).collect();
+        (p, a, compromised)
+    }
+
+    #[test]
+    fn damage_is_bounded_regardless_of_injection_volume() {
+        let (p, a, compromised) = setup(3);
+        let small = simulate_dos(&p, &a, &compromised, 100);
+        let huge = simulate_dos(&p, &a, &compromised, 1_000_000);
+        let n_codes = a.compromised_codes(&compromised).len() as u64;
+        let cap = n_codes * verification_cap_per_code(&p);
+        assert!(small.verifications <= cap);
+        assert!(
+            huge.verifications <= cap,
+            "{} > {}",
+            huge.verifications,
+            cap
+        );
+        // Saturation: 10^6 injections per code do no more damage than the cap.
+        assert_eq!(huge.verifications, {
+            let sat = simulate_dos(&p, &a, &compromised, 10_000_000);
+            sat.verifications
+        });
+    }
+
+    #[test]
+    fn verifications_grow_until_revocation() {
+        let (p, a, compromised) = setup(1);
+        // With very few injections nothing gets revoked yet.
+        let light = simulate_dos(&p, &a, &compromised, 2);
+        assert_eq!(light.revocations, 0);
+        assert!(light.verifications > 0);
+        // With enough, every victim revokes every attacked code.
+        let heavy = simulate_dos(&p, &a, &compromised, 50);
+        assert!(heavy.revocations > 0);
+        // Each (code, victim) pair revokes exactly once.
+        let expected_rev: u64 = a
+            .compromised_codes(&compromised)
+            .iter()
+            .map(|&c| {
+                a.holders_of(c)
+                    .iter()
+                    .filter(|&&h| h < a.n_real() && !compromised.contains(&h))
+                    .count() as u64
+            })
+            .sum();
+        assert_eq!(heavy.revocations, expected_rev);
+    }
+
+    #[test]
+    fn cpu_seconds_track_t_ver() {
+        let (p, a, compromised) = setup(2);
+        let out = simulate_dos(&p, &a, &compromised, 3);
+        assert!((out.cpu_seconds - out.verifications as f64 * p.t_ver).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_compromise_means_no_attack_surface() {
+        let (p, a, _) = setup(0);
+        let out = simulate_dos(&p, &a, &[], 1000);
+        assert_eq!(out.injected, 0);
+        assert_eq!(out.verifications, 0);
+    }
+
+    #[test]
+    fn false_revocations_trade_off_with_gamma() {
+        use jrsnd_sim::rng::SimRng;
+        use rand::SeedableRng;
+        let (mut p, a, _) = setup(0);
+        // 2% benign failure rate, 40 legitimate requests per code.
+        let mut with_small_gamma = 0.0;
+        let mut with_large_gamma = 0.0;
+        for (gamma, sink) in [
+            (1u32, &mut with_small_gamma),
+            (20u32, &mut with_large_gamma),
+        ] {
+            p.gamma = gamma;
+            let mut rng = SimRng::seed_from_u64(5);
+            let out = simulate_false_revocation(&p, &a, 0.02, 40, &mut rng);
+            assert!(out.benign_failures > 0);
+            *sink = out.capacity_lost;
+        }
+        assert!(
+            with_small_gamma > with_large_gamma,
+            "small gamma must lose more capacity: {with_small_gamma} vs {with_large_gamma}"
+        );
+        assert_eq!(with_large_gamma, 0.0, "gamma=20 should survive 2% noise");
+    }
+
+    #[test]
+    fn zero_benign_rate_never_revokes() {
+        use jrsnd_sim::rng::SimRng;
+        use rand::SeedableRng;
+        let (p, a, _) = setup(0);
+        let mut rng = SimRng::seed_from_u64(6);
+        let out = simulate_false_revocation(&p, &a, 0.0, 10, &mut rng);
+        assert_eq!(out.benign_failures, 0);
+        assert_eq!(out.false_revocations, 0);
+        assert_eq!(out.capacity_lost, 0.0);
+        assert!(out.legitimate_requests > 0);
+    }
+
+    #[test]
+    fn received_counts_only_live_codes() {
+        let (p, a, compromised) = setup(1);
+        let out = simulate_dos(&p, &a, &compromised, 1_000);
+        assert!(out.received <= out.injected * p.l as u64);
+        assert!(
+            out.received >= out.verifications,
+            "every reception verified once"
+        );
+    }
+}

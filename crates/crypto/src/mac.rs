@@ -1,0 +1,90 @@
+//! The message authentication code `f_K(·)` used in the D-NDP handshake.
+//!
+//! D-NDP's third and fourth messages carry `f_{K_AB}(ID_A | n_A)` and
+//! `f_{K_BA}(ID_B | n_B)` respectively; verifying the tag proves the peer
+//! computed the same ID-based pairwise key and therefore holds a valid
+//! authority-issued private key.
+
+use crate::hmac::{ct_eq, hmac_sha256_parts};
+use crate::ibc::{NodeId, SharedKey};
+use crate::nonce::Nonce;
+
+/// An authentication tag (wire length `l_mac` bits; full width in memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuthTag(pub [u8; 32]);
+
+/// Computes `f_K(ID | n)` — the handshake MAC of Section V-B.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_crypto::ibc::{Authority, NodeId};
+/// use jrsnd_crypto::mac::{auth_tag, verify_auth_tag};
+/// use jrsnd_crypto::nonce::Nonce;
+///
+/// let auth = Authority::from_seed(b"demo");
+/// let ka = auth.issue(NodeId(1));
+/// let kb = auth.issue(NodeId(2));
+/// let n = Nonce::from_value(0x5A5A5);
+/// let tag = auth_tag(&ka.shared_key(NodeId(2)), NodeId(1), n);
+/// assert!(verify_auth_tag(&kb.shared_key(NodeId(1)), NodeId(1), n, &tag));
+/// ```
+pub fn auth_tag(key: &SharedKey, id: NodeId, nonce: Nonce) -> AuthTag {
+    AuthTag(hmac_sha256_parts(
+        key.as_bytes(),
+        &[b"f_K", &id.to_bytes(), &nonce.to_bytes()],
+    ))
+}
+
+/// Verifies a handshake MAC in constant time.
+pub fn verify_auth_tag(key: &SharedKey, id: NodeId, nonce: Nonce, tag: &AuthTag) -> bool {
+    let expect = auth_tag(key, id, nonce);
+    ct_eq(&expect.0, &tag.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ibc::Authority;
+
+    fn keypair() -> (SharedKey, SharedKey) {
+        let auth = Authority::from_seed(b"mac-test");
+        let a = auth.issue(NodeId(10));
+        let b = auth.issue(NodeId(20));
+        (a.shared_key(NodeId(20)), b.shared_key(NodeId(10)))
+    }
+
+    #[test]
+    fn tag_round_trips_between_peers() {
+        let (kab, kba) = keypair();
+        let n = Nonce::from_value(0x12345);
+        let tag = auth_tag(&kab, NodeId(10), n);
+        assert!(verify_auth_tag(&kba, NodeId(10), n, &tag));
+    }
+
+    #[test]
+    fn tag_binds_every_field() {
+        let (kab, kba) = keypair();
+        let n = Nonce::from_value(7);
+        let tag = auth_tag(&kab, NodeId(10), n);
+        assert!(!verify_auth_tag(&kba, NodeId(11), n, &tag), "id swap");
+        assert!(
+            !verify_auth_tag(&kba, NodeId(10), Nonce::from_value(8), &tag),
+            "nonce swap (replay defense)"
+        );
+        let other_key = Authority::from_seed(b"other")
+            .issue(NodeId(10))
+            .shared_key(NodeId(20));
+        assert!(
+            !verify_auth_tag(&other_key, NodeId(10), n, &tag),
+            "key swap"
+        );
+    }
+
+    #[test]
+    fn garbage_tag_rejected() {
+        let (_, kba) = keypair();
+        let n = Nonce::from_value(1);
+        assert!(!verify_auth_tag(&kba, NodeId(10), n, &AuthTag([0u8; 32])));
+    }
+}

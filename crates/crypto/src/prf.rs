@@ -1,0 +1,134 @@
+//! A pseudorandom function and variable-length key expansion built on
+//! HMAC-SHA-256 (HKDF-expand style, RFC 5869).
+//!
+//! The spread-code pool, session spread codes, and identity-based key
+//! material all need more than 32 pseudorandom bytes; [`prf_expand`]
+//! stretches a key + label + context to any length.
+
+use crate::hmac::hmac_sha256_parts;
+use crate::sha256::DIGEST_LEN;
+
+/// Deterministically expands `(key, label, context)` into `out_len`
+/// pseudorandom bytes (HKDF-expand with the label/context as info).
+///
+/// Distinct labels yield independent streams, so every subsystem can carve
+/// its own namespace out of one key.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_crypto::prf::prf_expand;
+///
+/// let a = prf_expand(b"master", b"spread-code", b"\x00\x01", 64);
+/// let b = prf_expand(b"master", b"spread-code", b"\x00\x02", 64);
+/// assert_eq!(a.len(), 64);
+/// assert_ne!(a, b);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `out_len` exceeds `255 * 32` bytes (the HKDF-expand limit).
+pub fn prf_expand(key: &[u8], label: &[u8], context: &[u8], out_len: usize) -> Vec<u8> {
+    assert!(
+        out_len <= 255 * DIGEST_LEN,
+        "prf_expand output capped at {} bytes, asked for {out_len}",
+        255 * DIGEST_LEN
+    );
+    let mut out = Vec::with_capacity(out_len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter: u8 = 1;
+    while out.len() < out_len {
+        t = hmac_sha256_parts(key, &[&t, label, &[0x00], context, &[counter]]).to_vec();
+        let take = (out_len - out.len()).min(DIGEST_LEN);
+        out.extend_from_slice(&t[..take]);
+        counter = counter.checked_add(1).expect("block counter overflow");
+    }
+    out
+}
+
+/// Derives a fixed 32-byte subkey for a labelled purpose.
+pub fn derive_key(key: &[u8], label: &[u8], context: &[u8]) -> [u8; DIGEST_LEN] {
+    let v = prf_expand(key, label, context, DIGEST_LEN);
+    let mut out = [0u8; DIGEST_LEN];
+    out.copy_from_slice(&v);
+    out
+}
+
+/// Expands into a bit vector of exactly `n_bits` pseudorandom bits
+/// (MSB-first per byte) — how spread codes of chip length `N` are drawn.
+pub fn prf_expand_bits(key: &[u8], label: &[u8], context: &[u8], n_bits: usize) -> Vec<bool> {
+    let bytes = prf_expand(key, label, context, n_bits.div_ceil(8));
+    let mut bits = Vec::with_capacity(n_bits);
+    for (i, &byte) in bytes.iter().enumerate() {
+        for j in 0..8 {
+            if i * 8 + j == n_bits {
+                return bits;
+            }
+            bits.push(byte & (0x80 >> j) != 0);
+        }
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_label_separated() {
+        let a1 = prf_expand(b"k", b"l1", b"c", 100);
+        let a2 = prf_expand(b"k", b"l1", b"c", 100);
+        assert_eq!(a1, a2);
+        assert_ne!(a1, prf_expand(b"k", b"l2", b"c", 100));
+        assert_ne!(a1, prf_expand(b"k", b"l1", b"d", 100));
+        assert_ne!(a1, prf_expand(b"K", b"l1", b"c", 100));
+    }
+
+    #[test]
+    fn prefix_property() {
+        // Expanding to a longer length extends, not replaces, the stream.
+        let short = prf_expand(b"k", b"l", b"c", 10);
+        let long = prf_expand(b"k", b"l", b"c", 100);
+        assert_eq!(&long[..10], &short[..]);
+    }
+
+    #[test]
+    fn label_context_boundary_is_unambiguous() {
+        // ("ab", "c") must differ from ("a", "bc") thanks to the separator.
+        let x = prf_expand(b"k", b"ab", b"c", 32);
+        let y = prf_expand(b"k", b"a", b"bc", 32);
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn exact_multi_block_lengths() {
+        for len in [0, 1, 31, 32, 33, 64, 96, 1000] {
+            assert_eq!(prf_expand(b"k", b"l", b"", len).len(), len);
+        }
+    }
+
+    #[test]
+    fn bits_have_expected_length_and_balance() {
+        let bits = prf_expand_bits(b"k", b"chips", b"code-7", 512);
+        assert_eq!(bits.len(), 512);
+        let ones = bits.iter().filter(|&&b| b).count();
+        // A pseudorandom 512-bit string has ~256 ones; 4 sigma ~ 45.
+        assert!((211..=301).contains(&ones), "ones = {ones}");
+        let odd = prf_expand_bits(b"k", b"chips", b"x", 13);
+        assert_eq!(odd.len(), 13);
+    }
+
+    #[test]
+    fn derive_key_is_32_bytes_and_stable() {
+        let k1 = derive_key(b"master", b"sig", b"");
+        let k2 = derive_key(b"master", b"sig", b"");
+        assert_eq!(k1, k2);
+        assert_ne!(k1, derive_key(b"master", b"nike", b""));
+    }
+
+    #[test]
+    #[should_panic(expected = "capped")]
+    fn oversize_expansion_panics() {
+        prf_expand(b"k", b"l", b"", 255 * 32 + 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Replay protection for the authentication handshake.
+//!
+//! D-NDP's nonces "defend against message replay attacks" (Section V-B);
+//! that only works if a node remembers which `(peer, nonce)` pairs it has
+//! already accepted. [`ReplayGuard`] is that memory: a capacity-bounded
+//! set with FIFO eviction, sized so the `l_n = 20`-bit nonce space and
+//! the discovery period together keep the false-accept probability
+//! negligible.
+
+use crate::ibc::NodeId;
+use crate::nonce::Nonce;
+use std::collections::{HashSet, VecDeque};
+
+/// A bounded memory of accepted `(peer, nonce)` pairs.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_crypto::ibc::NodeId;
+/// use jrsnd_crypto::nonce::Nonce;
+/// use jrsnd_crypto::replay::ReplayGuard;
+///
+/// let mut guard = ReplayGuard::new(1024);
+/// let n = Nonce::from_value(7);
+/// assert!(guard.check_and_record(NodeId(1), n), "first use accepted");
+/// assert!(!guard.check_and_record(NodeId(1), n), "replay rejected");
+/// assert!(guard.check_and_record(NodeId(2), n), "same nonce, other peer is fine");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayGuard {
+    seen: HashSet<(NodeId, Nonce)>,
+    order: VecDeque<(NodeId, Nonce)>,
+    capacity: usize,
+}
+
+impl ReplayGuard {
+    /// Creates a guard remembering at most `capacity` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay guard needs nonzero capacity");
+        ReplayGuard {
+            seen: HashSet::with_capacity(capacity),
+            order: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Returns `true` (and records the pair) if it was never seen;
+    /// returns `false` for a replay. Evicts the oldest entry at capacity.
+    pub fn check_and_record(&mut self, peer: NodeId, nonce: Nonce) -> bool {
+        let key = (peer, nonce);
+        if self.seen.contains(&key) {
+            return false;
+        }
+        if self.order.len() == self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        self.seen.insert(key);
+        self.order.push_back(key);
+        true
+    }
+
+    /// Whether a pair is currently remembered.
+    pub fn contains(&self, peer: NodeId, nonce: Nonce) -> bool {
+        self.seen.contains(&(peer, nonce))
+    }
+
+    /// Number of remembered pairs.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether nothing is remembered yet.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Forgets everything (e.g. on epoch rollover).
+    pub fn clear(&mut self) {
+        self.seen.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_fresh_rejects_replayed() {
+        let mut g = ReplayGuard::new(16);
+        for v in 0..10u32 {
+            assert!(g.check_and_record(NodeId(1), Nonce::from_value(v)));
+        }
+        for v in 0..10u32 {
+            assert!(!g.check_and_record(NodeId(1), Nonce::from_value(v)));
+        }
+        assert_eq!(g.len(), 10);
+    }
+
+    #[test]
+    fn pairs_are_keyed_by_peer_and_nonce() {
+        let mut g = ReplayGuard::new(16);
+        let n = Nonce::from_value(0xABC);
+        assert!(g.check_and_record(NodeId(1), n));
+        assert!(g.check_and_record(NodeId(2), n));
+        assert!(g.check_and_record(NodeId(1), Nonce::from_value(0xABD)));
+        assert!(!g.check_and_record(NodeId(2), n));
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let mut g = ReplayGuard::new(3);
+        for v in 0..3u32 {
+            g.check_and_record(NodeId(0), Nonce::from_value(v));
+        }
+        assert_eq!(g.len(), 3);
+        // Inserting a 4th evicts the oldest (v = 0).
+        assert!(g.check_and_record(NodeId(0), Nonce::from_value(3)));
+        assert_eq!(g.len(), 3);
+        assert!(!g.contains(NodeId(0), Nonce::from_value(0)));
+        assert!(g.contains(NodeId(0), Nonce::from_value(1)));
+        // The evicted nonce would now (sadly but boundedly) be accepted
+        // again — the capacity bounds the window, as designed.
+        assert!(g.check_and_record(NodeId(0), Nonce::from_value(0)));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut g = ReplayGuard::new(4);
+        g.check_and_record(NodeId(1), Nonce::from_value(1));
+        assert!(!g.is_empty());
+        g.clear();
+        assert!(g.is_empty());
+        assert!(g.check_and_record(NodeId(1), Nonce::from_value(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero capacity")]
+    fn zero_capacity_rejected() {
+        ReplayGuard::new(0);
+    }
+}

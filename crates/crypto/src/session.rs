@@ -1,0 +1,116 @@
+//! Session spread-code derivation: `C_AB = h_{K_AB}(n_A ⊗ n_B)`.
+//!
+//! After mutual authentication, D-NDP (and M-NDP) derive a fresh secret
+//! spread code known only to the two endpoints. The paper specifies
+//! `h_*(·)` as "a cryptographic hash function of N bits keyed with the
+//! subscript"; we realise it as the HMAC-based PRF expanded to the chip
+//! length `N`.
+
+use crate::ibc::SharedKey;
+use crate::nonce::Nonce;
+use crate::prf::prf_expand_bits;
+
+/// Derives the `n_chips`-bit session spread code from the pairwise key and
+/// the two handshake nonces.
+///
+/// Symmetric in the nonces — both endpoints compute the same code — and
+/// pseudorandom in the key, so a jammer without `K_AB` cannot predict it.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_crypto::ibc::{Authority, NodeId};
+/// use jrsnd_crypto::nonce::Nonce;
+/// use jrsnd_crypto::session::derive_session_code;
+///
+/// let auth = Authority::from_seed(b"demo");
+/// let ka = auth.issue(NodeId(1));
+/// let kb = auth.issue(NodeId(2));
+/// let (na, nb) = (Nonce::from_value(3), Nonce::from_value(9));
+/// let c_ab = derive_session_code(&ka.shared_key(NodeId(2)), na, nb, 512);
+/// let c_ba = derive_session_code(&kb.shared_key(NodeId(1)), nb, na, 512);
+/// assert_eq!(c_ab, c_ba);
+/// assert_eq!(c_ab.len(), 512);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n_chips` is zero.
+pub fn derive_session_code(
+    key: &SharedKey,
+    my_nonce: Nonce,
+    peer_nonce: Nonce,
+    n_chips: usize,
+) -> Vec<bool> {
+    assert!(n_chips > 0, "session code must have at least one chip");
+    let xored = my_nonce.xor(peer_nonce);
+    prf_expand_bits(key.as_bytes(), b"session-code", &xored.to_bytes(), n_chips)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ibc::{Authority, NodeId};
+
+    fn key_pair() -> (SharedKey, SharedKey) {
+        let auth = Authority::from_seed(b"session-test");
+        let a = auth.issue(NodeId(1));
+        let b = auth.issue(NodeId(2));
+        (a.shared_key(NodeId(2)), b.shared_key(NodeId(1)))
+    }
+
+    #[test]
+    fn symmetric_in_nonces() {
+        let (kab, kba) = key_pair();
+        let (na, nb) = (Nonce::from_value(0xAAAAA), Nonce::from_value(0x55555));
+        assert_eq!(
+            derive_session_code(&kab, na, nb, 512),
+            derive_session_code(&kba, nb, na, 512)
+        );
+    }
+
+    #[test]
+    fn distinct_nonces_distinct_codes() {
+        let (kab, _) = key_pair();
+        let na = Nonce::from_value(1);
+        let c1 = derive_session_code(&kab, na, Nonce::from_value(2), 512);
+        let c2 = derive_session_code(&kab, na, Nonce::from_value(3), 512);
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn distinct_keys_distinct_codes() {
+        let auth = Authority::from_seed(b"s");
+        let a = auth.issue(NodeId(1));
+        let (na, nb) = (Nonce::from_value(4), Nonce::from_value(5));
+        let c12 = derive_session_code(&a.shared_key(NodeId(2)), na, nb, 512);
+        let c13 = derive_session_code(&a.shared_key(NodeId(3)), na, nb, 512);
+        assert_ne!(c12, c13);
+    }
+
+    #[test]
+    fn code_is_balanced_pseudorandom() {
+        let (kab, _) = key_pair();
+        let c = derive_session_code(&kab, Nonce::from_value(6), Nonce::from_value(7), 512);
+        let ones = c.iter().filter(|&&b| b).count();
+        assert!((211..=301).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn requested_lengths_are_honoured() {
+        let (kab, _) = key_pair();
+        for len in [1, 8, 100, 256, 512, 1024] {
+            assert_eq!(
+                derive_session_code(&kab, Nonce::default(), Nonce::default(), len).len(),
+                len
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chip")]
+    fn zero_length_rejected() {
+        let (kab, _) = key_pair();
+        derive_session_code(&kab, Nonce::default(), Nonce::default(), 0);
+    }
+}

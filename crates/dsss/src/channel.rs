@@ -1,0 +1,277 @@
+//! A shared chip-level wireless medium with superposition and jamming.
+//!
+//! All transmitters in range contribute their ±1 chip streams (scaled by a
+//! transmit amplitude) to a common chip clock; the receiver samples the sum.
+//! Jamming is nothing special here — a jammer is just another transmitter,
+//! typically spreading garbage bits with a (hopefully compromised) code at
+//! equal or higher amplitude, which drives the victim's per-bit correlation
+//! below the threshold τ.
+
+use crate::chip::ChipSeq;
+
+/// One scheduled transmission on the medium.
+#[derive(Debug, Clone)]
+struct Transmission {
+    start_chip: u64,
+    chips: ChipSeq,
+    amplitude: i32,
+}
+
+/// A chip-synchronous shared medium.
+///
+/// Chip indices are absolute (a global chip clock at rate `R`); the caller
+/// maps virtual time to chips. Rendering is deterministic: the same channel
+/// state renders identical samples for any overlapping ranges.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_dsss::channel::ChipChannel;
+/// use jrsnd_dsss::code::SpreadCode;
+/// use jrsnd_dsss::spread::{despread_levels, spread, DEFAULT_TAU};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let code = SpreadCode::random(512, &mut rng);
+/// let msg = [true, false, true, true];
+/// let mut ch = ChipChannel::new(0);
+/// ch.transmit(1000, spread(&msg, &code), 1);
+/// let samples = ch.render(1000, 4 * 512);
+/// let (bits, _) = despread_levels(&samples, &code, DEFAULT_TAU);
+/// assert_eq!(bits, msg);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChipChannel {
+    transmissions: Vec<Transmission>,
+    noise_seed: u64,
+    /// Probability (in 1/2^32 units) that a chip gets ±1 ambient noise.
+    noise_prob_u32: u32,
+}
+
+impl ChipChannel {
+    /// Creates a noiseless channel; `noise_seed` only matters once noise is
+    /// enabled with [`ChipChannel::with_noise`].
+    pub fn new(noise_seed: u64) -> Self {
+        ChipChannel {
+            transmissions: Vec::new(),
+            noise_seed,
+            noise_prob_u32: 0,
+        }
+    }
+
+    /// Enables ambient noise: each chip independently receives a ±1
+    /// contribution with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn with_noise(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "noise probability out of range");
+        self.noise_prob_u32 = (p * f64::from(u32::MAX)) as u32;
+        self
+    }
+
+    /// Schedules a chip stream starting at absolute chip index
+    /// `start_chip`, with integer `amplitude` (a jammer may shout louder
+    /// than 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitude == 0`.
+    pub fn transmit(&mut self, start_chip: u64, chips: ChipSeq, amplitude: i32) {
+        assert!(amplitude != 0, "amplitude must be nonzero");
+        self.transmissions.push(Transmission {
+            start_chip,
+            chips,
+            amplitude,
+        });
+    }
+
+    /// Number of scheduled transmissions.
+    pub fn transmission_count(&self) -> usize {
+        self.transmissions.len()
+    }
+
+    /// Deterministic per-chip noise in {−1, 0, +1}.
+    fn noise_at(&self, chip: u64) -> i32 {
+        if self.noise_prob_u32 == 0 {
+            return 0;
+        }
+        // SplitMix64 of (seed, chip) — stateless, so rendering any range
+        // any number of times yields identical samples.
+        let mut z = self.noise_seed ^ chip.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        if (z as u32) < self.noise_prob_u32 {
+            if z & (1 << 40) != 0 {
+                1
+            } else {
+                -1
+            }
+        } else {
+            0
+        }
+    }
+
+    /// Samples `len` chips starting at absolute index `start`.
+    pub fn render(&self, start: u64, len: usize) -> Vec<i32> {
+        let mut out: Vec<i32> = (0..len as u64).map(|i| self.noise_at(start + i)).collect();
+        let end = start + len as u64;
+        for tx in &self.transmissions {
+            let tx_end = tx.start_chip + tx.chips.len() as u64;
+            if tx_end <= start || tx.start_chip >= end {
+                continue;
+            }
+            let from = tx.start_chip.max(start);
+            let to = tx_end.min(end);
+            for abs in from..to {
+                let chip_idx = (abs - tx.start_chip) as usize;
+                out[(abs - start) as usize] += i32::from(tx.chips.chip(chip_idx)) * tx.amplitude;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::SpreadCode;
+    use crate::spread::{despread_levels, spread, DEFAULT_TAU};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn single_transmission_round_trips() {
+        let mut r = rng(1);
+        let code = SpreadCode::random(256, &mut r);
+        let msg: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let mut ch = ChipChannel::new(0);
+        ch.transmit(500, spread(&msg, &code), 1);
+        let samples = ch.render(500, 10 * 256);
+        let (bits, erased) = despread_levels(&samples, &code, DEFAULT_TAU);
+        assert_eq!(bits, msg);
+        assert!(erased.iter().all(|&e| !e));
+    }
+
+    #[test]
+    fn silence_renders_zero() {
+        let ch = ChipChannel::new(9);
+        assert!(ch.render(0, 100).iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn partial_overlap_is_windowed_correctly() {
+        let mut ch = ChipChannel::new(0);
+        let chips = ChipSeq::from_bits(&[true; 8]);
+        ch.transmit(10, chips, 1);
+        // Window [6, 14): four zeros then four ones.
+        let samples = ch.render(6, 8);
+        assert_eq!(samples, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        // Window fully past the transmission.
+        assert!(ch.render(18, 4).iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn concurrent_different_codes_coexist() {
+        let mut r = rng(2);
+        let code_a = SpreadCode::random(512, &mut r);
+        let code_b = SpreadCode::random(512, &mut r);
+        let msg_a: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
+        let msg_b: Vec<bool> = (0..8).map(|i| i % 3 == 0).collect();
+        let mut ch = ChipChannel::new(0);
+        ch.transmit(0, spread(&msg_a, &code_a), 1);
+        ch.transmit(0, spread(&msg_b, &code_b), 1);
+        let samples = ch.render(0, 8 * 512);
+        let (bits_a, er_a) = despread_levels(&samples, &code_a, DEFAULT_TAU);
+        let (bits_b, er_b) = despread_levels(&samples, &code_b, DEFAULT_TAU);
+        assert_eq!(bits_a, msg_a);
+        assert_eq!(bits_b, msg_b);
+        assert!(er_a.iter().chain(&er_b).all(|&e| !e));
+    }
+
+    #[test]
+    fn same_code_jamming_destroys_bits() {
+        let mut r = rng(3);
+        let code = SpreadCode::random(512, &mut r);
+        let msg: Vec<bool> = (0..40).map(|i| i % 2 == 0).collect();
+        let mut ch = ChipChannel::new(0);
+        ch.transmit(0, spread(&msg, &code), 1);
+        // Reactive jammer: same code, garbage bits, double amplitude,
+        // synchronized to the bit boundaries.
+        let garbage: Vec<bool> = (0..40).map(|i| i % 3 == 0).collect();
+        ch.transmit(0, spread(&garbage, &code), 2);
+        let samples = ch.render(0, 40 * 512);
+        let (bits, erased) = despread_levels(&samples, &code, DEFAULT_TAU);
+        let corrupted = bits
+            .iter()
+            .zip(&msg)
+            .zip(&erased)
+            .filter(|((b, m), e)| **e || b != m)
+            .count();
+        // Where the garbage bit differs from the data bit (about half the
+        // positions) the stronger jammer flips or erases the decision.
+        assert!(corrupted >= 10, "only {corrupted}/40 bits corrupted");
+    }
+
+    #[test]
+    fn wrong_code_jamming_is_harmless() {
+        let mut r = rng(4);
+        let code = SpreadCode::random(512, &mut r);
+        let wrong = SpreadCode::random(512, &mut r);
+        let msg: Vec<bool> = (0..40).map(|i| i % 5 < 2).collect();
+        let mut ch = ChipChannel::new(0);
+        ch.transmit(0, spread(&msg, &code), 1);
+        let garbage: Vec<bool> = (0..40).map(|i| i % 2 == 0).collect();
+        ch.transmit(0, spread(&garbage, &wrong), 2);
+        let samples = ch.render(0, 40 * 512);
+        let (bits, erased) = despread_levels(&samples, &code, DEFAULT_TAU);
+        let corrupted = bits
+            .iter()
+            .zip(&msg)
+            .zip(&erased)
+            .filter(|((b, m), e)| **e || b != m)
+            .count();
+        assert!(
+            corrupted <= 2,
+            "{corrupted}/40 bits corrupted by wrong-code jamming"
+        );
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_sparse() {
+        let ch = ChipChannel::new(42).with_noise(0.05);
+        let a = ch.render(1000, 10_000);
+        let b = ch.render(1000, 10_000);
+        assert_eq!(a, b);
+        // Overlapping window agrees chip-for-chip.
+        let c = ch.render(5000, 1000);
+        assert_eq!(&a[4000..5000], &c[..]);
+        let noisy = a.iter().filter(|&&s| s != 0).count();
+        assert!((300..=700).contains(&noisy), "noisy chips: {noisy}");
+    }
+
+    #[test]
+    fn decoding_survives_light_noise() {
+        let mut r = rng(5);
+        let code = SpreadCode::random(512, &mut r);
+        let msg: Vec<bool> = (0..20).map(|i| i % 4 == 0).collect();
+        let mut ch = ChipChannel::new(7).with_noise(0.02);
+        ch.transmit(0, spread(&msg, &code), 1);
+        let samples = ch.render(0, 20 * 512);
+        let (bits, erased) = despread_levels(&samples, &code, DEFAULT_TAU);
+        assert_eq!(bits, msg);
+        assert!(erased.iter().all(|&e| !e));
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude must be nonzero")]
+    fn zero_amplitude_rejected() {
+        let mut ch = ChipChannel::new(0);
+        ch.transmit(0, ChipSeq::from_bits(&[true]), 0);
+    }
+}

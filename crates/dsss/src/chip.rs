@@ -1,0 +1,264 @@
+//! Bit-packed ±1 chip sequences.
+//!
+//! DSSS works on NRZ chips: each chip is +1 or −1 (Section III). We pack a
+//! chip per bit (`1 ↔ +1`, `0 ↔ −1`) into `u64` words so that correlating
+//! two `N = 512`-chip sequences is 8 XORs + 8 popcounts instead of 512
+//! multiply-adds:
+//! `corr(u, v) = (N − 2·hamming(u ⊕ v)) / N`.
+
+/// A fixed-length sequence of ±1 chips, packed one chip per bit.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_dsss::chip::ChipSeq;
+///
+/// let a = ChipSeq::from_bits(&[true, true, false, false]);
+/// let b = ChipSeq::from_bits(&[true, false, true, false]);
+/// assert_eq!(a.correlate(&b), 0.0); // orthogonal half-match
+/// assert_eq!(a.correlate(&a), 1.0);
+/// assert_eq!(a.correlate(&a.negated()), -1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ChipSeq {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl ChipSeq {
+    /// Builds a sequence from bits (`true ↔ +1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty input.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        assert!(!bits.is_empty(), "chip sequence must be non-empty");
+        let mut words = vec![0u64; bits.len().div_ceil(64)];
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        ChipSeq {
+            words,
+            len: bits.len(),
+        }
+    }
+
+    /// Number of chips.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sequence is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The chip at `i` as a bool (`true ↔ +1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.len, "chip index {i} out of range {}", self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// The chip at `i` as ±1.
+    #[inline]
+    pub fn chip(&self, i: usize) -> i8 {
+        if self.bit(i) {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// The chips as a bool vector.
+    pub fn to_bits(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.bit(i)).collect()
+    }
+
+    /// The chips as ±1 integers (for soft-sample channels).
+    pub fn to_levels(&self) -> Vec<i32> {
+        (0..self.len).map(|i| i32::from(self.chip(i))).collect()
+    }
+
+    /// The chip-wise negation (every +1 ↔ −1) — how a data bit "0"/−1 is
+    /// spread.
+    pub fn negated(&self) -> ChipSeq {
+        let mut words: Vec<u64> = self.words.iter().map(|w| !w).collect();
+        // Clear the padding bits of the last word.
+        let tail = self.len % 64;
+        if tail != 0 {
+            let mask = (1u64 << tail) - 1;
+            if let Some(last) = words.last_mut() {
+                *last &= mask;
+            }
+        }
+        ChipSeq {
+            words,
+            len: self.len,
+        }
+    }
+
+    /// Hamming distance to an equal-length sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn hamming(&self, other: &ChipSeq) -> u32 {
+        assert_eq!(
+            self.len, other.len,
+            "hamming distance requires equal lengths"
+        );
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// Normalised correlation in `[-1, 1]`:
+    /// `(matches − mismatches) / len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn correlate(&self, other: &ChipSeq) -> f64 {
+        let h = self.hamming(other) as f64;
+        (self.len as f64 - 2.0 * h) / self.len as f64
+    }
+
+    /// Concatenates sequences (message spreading glues per-bit chip blocks).
+    pub fn concat(parts: &[&ChipSeq]) -> ChipSeq {
+        assert!(!parts.is_empty(), "cannot concatenate zero sequences");
+        let mut bits = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+        for p in parts {
+            bits.extend(p.to_bits());
+        }
+        ChipSeq::from_bits(&bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_bits() {
+        let bits: Vec<bool> = (0..130).map(|i| i % 3 == 0).collect();
+        let seq = ChipSeq::from_bits(&bits);
+        assert_eq!(seq.len(), 130);
+        assert_eq!(seq.to_bits(), bits);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(seq.bit(i), b);
+            assert_eq!(seq.chip(i), if b { 1 } else { -1 });
+        }
+    }
+
+    #[test]
+    fn levels_match_chips() {
+        let seq = ChipSeq::from_bits(&[true, false, true]);
+        assert_eq!(seq.to_levels(), vec![1, -1, 1]);
+    }
+
+    #[test]
+    fn negation_involutes_and_anticorrelates() {
+        let bits: Vec<bool> = (0..77).map(|i| i % 5 < 2).collect();
+        let seq = ChipSeq::from_bits(&bits);
+        let neg = seq.negated();
+        assert_eq!(neg.negated(), seq);
+        assert_eq!(seq.correlate(&neg), -1.0);
+        // Padding bits in the last word must stay clear for Eq/Hash.
+        assert_eq!(neg.hamming(&seq), 77);
+    }
+
+    #[test]
+    fn correlation_extremes_and_midpoint() {
+        let a = ChipSeq::from_bits(&[true; 64]);
+        assert_eq!(a.correlate(&a), 1.0);
+        assert_eq!(a.correlate(&a.negated()), -1.0);
+        let mut half = vec![true; 64];
+        for b in half.iter_mut().take(32) {
+            *b = false;
+        }
+        assert_eq!(a.correlate(&ChipSeq::from_bits(&half)), 0.0);
+    }
+
+    #[test]
+    fn hamming_basics() {
+        let a = ChipSeq::from_bits(&[true, true, false]);
+        let b = ChipSeq::from_bits(&[true, false, true]);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = ChipSeq::from_bits(&[true, false]);
+        let b = ChipSeq::from_bits(&[false, false, true]);
+        let c = ChipSeq::concat(&[&a, &b]);
+        assert_eq!(c.to_bits(), vec![true, false, false, false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn hamming_length_mismatch_panics() {
+        let a = ChipSeq::from_bits(&[true]);
+        let b = ChipSeq::from_bits(&[true, false]);
+        a.hamming(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_rejected() {
+        ChipSeq::from_bits(&[]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn packed_correlation_matches_naive(
+            bits_a in proptest::collection::vec(any::<bool>(), 1..600),
+            flip_mask in proptest::collection::vec(any::<bool>(), 600),
+        ) {
+            let bits_b: Vec<bool> = bits_a
+                .iter()
+                .zip(&flip_mask)
+                .map(|(&a, &f)| a ^ f)
+                .collect();
+            let a = ChipSeq::from_bits(&bits_a);
+            let b = ChipSeq::from_bits(&bits_b);
+            let naive: i64 = bits_a
+                .iter()
+                .zip(&bits_b)
+                .map(|(&x, &y)| if x == y { 1i64 } else { -1 })
+                .sum();
+            let expected = naive as f64 / bits_a.len() as f64;
+            prop_assert!((a.correlate(&b) - expected).abs() < 1e-12);
+        }
+
+        #[test]
+        fn correlation_is_symmetric(
+            bits in proptest::collection::vec(any::<bool>(), 1..300),
+            flips in proptest::collection::vec(any::<bool>(), 300),
+        ) {
+            let other: Vec<bool> = bits
+                .iter()
+                .zip(&flips)
+                .map(|(&x, &f)| x ^ f)
+                .collect();
+            let a = ChipSeq::from_bits(&bits);
+            let b = ChipSeq::from_bits(&other);
+            prop_assert_eq!(a.correlate(&b), b.correlate(&a));
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Maximum-length sequences (m-sequences) and Gold codes.
+//!
+//! The paper draws spread codes uniformly at random, which is fine for
+//! secrecy but gives only probabilistic correlation guarantees — a random
+//! pair of 512-chip codes occasionally shows partial-autocorrelation
+//! sidelobes near the τ = 0.15 threshold (we hit exactly this while
+//! building the sliding-window receiver). Classical DSSS practice instead
+//! uses structured families with *provable* bounds:
+//!
+//! * an m-sequence of degree `r` has period `L = 2^r − 1`, is balanced,
+//!   and its periodic autocorrelation is exactly `−1/L` off-peak;
+//! * a **Gold family** built from a preferred pair of m-sequences gives
+//!   `L + 2` codes whose periodic cross-correlations take only the three
+//!   values `{−1, −t(r), t(r) − 2}/L` with `t(r) = 2^{⌊(r+2)/2⌋} + 1`
+//!   (≈ 0.065·L for r = 9 — far below τ).
+//!
+//! This module generates both and is exercised by the receiver tests; the
+//! authority could draw its secret pool from a (secret, permuted) Gold
+//! family to combine the paper's design with deterministic correlation
+//! margins.
+
+use crate::chip::ChipSeq;
+use crate::code::SpreadCode;
+
+/// A linear-feedback shift register over GF(2) in Fibonacci configuration.
+///
+/// `taps` are the feedback polynomial's exponents (excluding the constant
+/// term), e.g. `x⁹ + x⁴ + 1` is `degree 9, taps [9, 4]`.
+#[derive(Debug, Clone)]
+pub struct Lfsr {
+    state: u32,
+    taps: Vec<u32>,
+    degree: u32,
+}
+
+impl Lfsr {
+    /// Creates an LFSR with the given degree, feedback taps, and nonzero
+    /// seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the degree is 0 or > 31, the seed is zero (the LFSR would
+    /// stick at zero forever), or a tap exceeds the degree.
+    pub fn new(degree: u32, taps: &[u32], seed: u32) -> Self {
+        assert!((1..=31).contains(&degree), "degree must be in 1..=31");
+        assert!(seed != 0, "LFSR seed must be nonzero");
+        assert!(seed < (1 << degree), "seed must fit in {degree} bits");
+        assert!(
+            taps.iter().all(|&t| t >= 1 && t <= degree),
+            "taps must lie in 1..=degree"
+        );
+        assert!(
+            taps.contains(&degree),
+            "the feedback polynomial must include x^degree"
+        );
+        Lfsr {
+            state: seed,
+            taps: taps.to_vec(),
+            degree,
+        }
+    }
+
+    /// Advances one step, returning the output bit (the stage-`degree`
+    /// cell of the Fibonacci register).
+    pub fn step(&mut self) -> bool {
+        let out = (self.state >> (self.degree - 1)) & 1 == 1;
+        let mut fb = 0u32;
+        for &t in &self.taps {
+            fb ^= (self.state >> (t - 1)) & 1;
+        }
+        self.state = ((self.state << 1) | fb) & ((1u32 << self.degree) - 1);
+        out
+    }
+
+    /// Generates the next `n` output bits.
+    pub fn bits(&mut self, n: usize) -> Vec<bool> {
+        (0..n).map(|_| self.step()).collect()
+    }
+}
+
+/// Generates one period (`2^degree − 1` bits) of the m-sequence defined by
+/// a primitive feedback polynomial.
+///
+/// # Panics
+///
+/// Propagates [`Lfsr::new`]'s panics.
+pub fn m_sequence(degree: u32, taps: &[u32]) -> Vec<bool> {
+    let period = (1usize << degree) - 1;
+    Lfsr::new(degree, taps, 1).bits(period)
+}
+
+/// Periodic (cyclic) correlation of two equal-length ±1 sequences at the
+/// given shift, normalised to `[-1, 1]`.
+pub fn periodic_correlation(a: &[bool], b: &[bool], shift: usize) -> f64 {
+    assert_eq!(a.len(), b.len(), "sequences must have equal length");
+    let n = a.len();
+    let mut acc: i64 = 0;
+    for i in 0..n {
+        let x = a[i];
+        let y = b[(i + shift) % n];
+        acc += if x == y { 1 } else { -1 };
+    }
+    acc as f64 / n as f64
+}
+
+/// Decimates a periodic sequence by `d`: output `i` is input `(d·i) mod L`.
+pub fn decimate(seq: &[bool], d: usize) -> Vec<bool> {
+    let n = seq.len();
+    (0..n).map(|i| seq[(d * i) % n]).collect()
+}
+
+/// The Gold-family cross-correlation bound `t(r) = 2^{⌊(r+2)/2⌋} + 1`.
+pub fn gold_bound(degree: u32) -> f64 {
+    let t = (1u64 << ((degree + 2) / 2)) + 1;
+    t as f64 / ((1u64 << degree) - 1) as f64
+}
+
+/// A family of Gold codes of period `2^degree − 1`.
+///
+/// Built from the preferred pair `(u, v)` where `v` is the decimation of
+/// `u` by `d = 2^k + 1` with `gcd(k, degree) = 1` and odd `degree` — the
+/// classical construction guaranteeing three-valued cross-correlation.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_dsss::gold::{gold_bound, GoldFamily};
+///
+/// let family = GoldFamily::degree9();
+/// assert_eq!(family.len(), (1 << 9) + 1); // 513 codes
+/// assert_eq!(family.code(0).len(), 511);
+/// // Any two distinct codes correlate below the Gold bound (~0.065),
+/// // which is comfortably inside the paper's tau = 0.15.
+/// assert!(gold_bound(9) < 0.15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GoldFamily {
+    u: Vec<bool>,
+    v: Vec<bool>,
+    degree: u32,
+}
+
+impl GoldFamily {
+    /// Builds a Gold family from a primitive polynomial (via its taps) and
+    /// a decimation exponent `k` (so `d = 2^k + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is even or `gcd(k, degree) != 1` (the pair would
+    /// not be preferred), or if the taps are not primitive (detected as a
+    /// short LFSR period).
+    pub fn new(degree: u32, taps: &[u32], k: u32) -> Self {
+        assert!(degree % 2 == 1, "this construction requires odd degree");
+        assert_eq!(gcd(k as u64, degree as u64), 1, "gcd(k, degree) must be 1");
+        let u = m_sequence(degree, taps);
+        // Primitivity check: an m-sequence is balanced with 2^{r-1} ones.
+        let ones = u.iter().filter(|&&b| b).count();
+        assert_eq!(
+            ones,
+            1 << (degree - 1),
+            "taps are not primitive (sequence is unbalanced)"
+        );
+        let d = (1usize << k) + 1;
+        let v = decimate(&u, d);
+        GoldFamily { u, v, degree }
+    }
+
+    /// The standard degree-9 family (period 511): `x⁹ + x⁴ + 1`, `k = 2`.
+    pub fn degree9() -> Self {
+        GoldFamily::new(9, &[9, 4], 2)
+    }
+
+    /// A small degree-5 family (period 31) for fast tests:
+    /// `x⁵ + x² + 1`, `k = 1`.
+    pub fn degree5() -> Self {
+        GoldFamily::new(5, &[5, 2], 1)
+    }
+
+    /// Sequence period `L = 2^degree − 1`.
+    pub fn period(&self) -> usize {
+        self.u.len()
+    }
+
+    /// Family size `L + 2`.
+    pub fn len(&self) -> usize {
+        self.period() + 2
+    }
+
+    /// Whether the family is empty (never — kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The worst-case |cross-correlation| between distinct family members.
+    pub fn bound(&self) -> f64 {
+        gold_bound(self.degree)
+    }
+
+    /// The `i`-th Gold code: index 0 is `u`, index 1 is `v`, and index
+    /// `2 + s` is `u ⊕ shift_s(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn code_bits(&self, i: usize) -> Vec<bool> {
+        assert!(i < self.len(), "code index {i} out of range {}", self.len());
+        match i {
+            0 => self.u.clone(),
+            1 => self.v.clone(),
+            _ => {
+                let s = i - 2;
+                let n = self.period();
+                (0..n).map(|j| self.u[j] ^ self.v[(j + s) % n]).collect()
+            }
+        }
+    }
+
+    /// The `i`-th code as a [`SpreadCode`].
+    pub fn code(&self, i: usize) -> SpreadCode {
+        SpreadCode::from_bits(&self.code_bits(i))
+    }
+
+    /// The `i`-th code as a [`ChipSeq`].
+    pub fn chip_seq(&self, i: usize) -> ChipSeq {
+        ChipSeq::from_bits(&self.code_bits(i))
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lfsr_produces_full_period() {
+        // x^5 + x^2 + 1 is primitive: period 31, then repeats.
+        let mut lfsr = Lfsr::new(5, &[5, 2], 1);
+        let first = lfsr.bits(31);
+        let second = lfsr.bits(31);
+        assert_eq!(first, second, "m-sequence must repeat with period 31");
+        // All 31 nonzero states visited <=> balanced: 16 ones, 15 zeros.
+        assert_eq!(first.iter().filter(|&&b| b).count(), 16);
+    }
+
+    #[test]
+    fn m_sequence_autocorrelation_is_two_valued() {
+        let seq = m_sequence(9, &[9, 4]);
+        let l = seq.len() as f64;
+        assert!((periodic_correlation(&seq, &seq, 0) - 1.0).abs() < 1e-12);
+        for shift in 1..seq.len() {
+            let c = periodic_correlation(&seq, &seq, shift);
+            assert!(
+                (c + 1.0 / l).abs() < 1e-12,
+                "shift {shift}: autocorrelation {c} != -1/L"
+            );
+        }
+    }
+
+    #[test]
+    fn degree5_family_cross_correlation_is_three_valued() {
+        let fam = GoldFamily::degree5();
+        let l = fam.period() as f64;
+        let t = (1u64 << ((5 + 2) / 2)) + 1; // t(5) = 9
+        let allowed = [-1.0 / l, -(t as f64) / l, (t as f64 - 2.0) / l];
+        // Check all pairs among a sample of codes at all shifts.
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                let a = fam.code_bits(i);
+                let b = fam.code_bits(j);
+                for shift in 0..fam.period() {
+                    let c = periodic_correlation(&a, &b, shift);
+                    assert!(
+                        allowed.iter().any(|&v| (c - v).abs() < 1e-9),
+                        "codes ({i},{j}) shift {shift}: correlation {c} not in {allowed:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degree9_family_respects_gold_bound() {
+        let fam = GoldFamily::degree9();
+        let bound = fam.bound();
+        assert!((bound - 33.0 / 511.0).abs() < 1e-12);
+        // Spot-check a handful of pairs across shifts.
+        for (i, j) in [(0usize, 1usize), (2, 3), (0, 100), (50, 400)] {
+            let a = fam.code_bits(i);
+            let b = fam.code_bits(j);
+            for shift in (0..fam.period()).step_by(13) {
+                let c = periodic_correlation(&a, &b, shift).abs();
+                assert!(c <= bound + 1e-9, "|corr({i},{j},{shift})| = {c} > {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn gold_codes_are_distinct_and_near_balanced() {
+        let fam = GoldFamily::degree9();
+        let mut seen = std::collections::HashSet::new();
+        for i in (0..fam.len()).step_by(37) {
+            let bits = fam.code_bits(i);
+            assert!(seen.insert(bits.clone()), "duplicate code {i}");
+            let ones = bits.iter().filter(|&&b| b).count() as i64;
+            // Gold codes deviate from perfect balance by at most t(r).
+            assert!((ones - 256).unsigned_abs() <= 33, "code {i}: {ones} ones");
+        }
+    }
+
+    #[test]
+    fn gold_codes_work_as_spread_codes() {
+        use crate::spread::{despread_levels, spread};
+        let fam = GoldFamily::degree9();
+        let code = fam.code(7);
+        let msg: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let levels = spread(&msg, &code).to_levels();
+        let (bits, erased) = despread_levels(&levels, &code, 0.15);
+        assert_eq!(bits, msg);
+        assert!(erased.iter().all(|&e| !e));
+    }
+
+    #[test]
+    fn decimation_by_one_is_identity() {
+        let seq = m_sequence(5, &[5, 2]);
+        assert_eq!(decimate(&seq, 1), seq);
+    }
+
+    #[test]
+    fn bad_constructions_are_rejected() {
+        assert!(
+            std::panic::catch_unwind(|| Lfsr::new(5, &[5, 2], 0)).is_err(),
+            "zero seed"
+        );
+        assert!(
+            std::panic::catch_unwind(|| Lfsr::new(5, &[4, 2], 1)).is_err(),
+            "missing x^degree tap"
+        );
+        assert!(
+            std::panic::catch_unwind(|| GoldFamily::new(6, &[6, 1], 1)).is_err(),
+            "even degree"
+        );
+        assert!(
+            std::panic::catch_unwind(|| GoldFamily::new(9, &[9, 4], 3)).is_err(),
+            "gcd(3,9) != 1"
+        );
+        // Non-primitive taps for degree 5: x^5 + x^1 + 1 is not primitive.
+        assert!(std::panic::catch_unwind(|| GoldFamily::new(5, &[5, 1], 1)).is_err());
+    }
+
+    #[test]
+    fn index_out_of_range_panics() {
+        let fam = GoldFamily::degree5();
+        assert!(std::panic::catch_unwind(|| fam.code_bits(fam.len())).is_err());
+    }
+}

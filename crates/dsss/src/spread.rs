@@ -1,0 +1,262 @@
+//! Spreading and de-spreading: message bits ↔ chip streams.
+//!
+//! Section III: each message bit is NRZ-mapped (`1 ↔ +1`, `0 ↔ −1`) and
+//! multiplied by the spread code, so a "1" transmits the code itself and a
+//! "0" transmits its negation. The receiver correlates each `N`-chip window
+//! with the code: correlation ≥ τ ⇒ bit 1, ≤ −τ ⇒ bit 0, otherwise the bit
+//! is unreliable (an *erasure* for the ECC layer).
+
+use crate::chip::ChipSeq;
+use crate::code::SpreadCode;
+
+/// The paper's de-spreading threshold for `N = 512` codes (Section III).
+pub const DEFAULT_TAU: f64 = 0.15;
+
+/// One de-spread bit decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitDecision {
+    /// Correlation ≥ τ.
+    One,
+    /// Correlation ≤ −τ.
+    Zero,
+    /// |correlation| < τ — unreliable, treated as an erasure.
+    Erased,
+}
+
+impl BitDecision {
+    /// The decided bit value, if reliable.
+    pub fn bit(self) -> Option<bool> {
+        match self {
+            BitDecision::One => Some(true),
+            BitDecision::Zero => Some(false),
+            BitDecision::Erased => None,
+        }
+    }
+}
+
+/// Spreads message bits with a code into a chip sequence of
+/// `bits.len() * code.len()` chips.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_dsss::code::SpreadCode;
+/// use jrsnd_dsss::spread::{despread_levels, spread, DEFAULT_TAU};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let code = SpreadCode::random(512, &mut rng);
+/// let msg = [true, false, true];
+/// let chips = spread(&msg, &code);
+/// let levels = chips.to_levels();
+/// let (bits, erasures) = despread_levels(&levels, &code, DEFAULT_TAU);
+/// assert_eq!(bits, vec![true, false, true]);
+/// assert!(erasures.iter().all(|&e| !e));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `bits` is empty.
+pub fn spread(bits: &[bool], code: &SpreadCode) -> ChipSeq {
+    assert!(!bits.is_empty(), "cannot spread an empty message");
+    let pos = code.chips().clone();
+    let neg = pos.negated();
+    let parts: Vec<&ChipSeq> = bits.iter().map(|&b| if b { &pos } else { &neg }).collect();
+    ChipSeq::concat(&parts)
+}
+
+/// Correlates one `N`-chip window of soft samples against a code.
+///
+/// `samples` are summed amplitudes (own signal + interference + jamming);
+/// the correlation is normalised by `N`, so a clean matching window gives
+/// exactly ±1.
+///
+/// # Panics
+///
+/// Panics if `window.len() != code.len()`.
+pub fn correlate_window(window: &[i32], code: &SpreadCode) -> f64 {
+    assert_eq!(
+        window.len(),
+        code.len(),
+        "window length must equal the code length"
+    );
+    let mut acc: i64 = 0;
+    for (i, &s) in window.iter().enumerate() {
+        acc += i64::from(s) * i64::from(code.chips().chip(i));
+    }
+    acc as f64 / code.len() as f64
+}
+
+/// Decides one bit from a window's correlation using threshold `tau`.
+pub fn decide(correlation: f64, tau: f64) -> BitDecision {
+    if correlation >= tau {
+        BitDecision::One
+    } else if correlation <= -tau {
+        BitDecision::Zero
+    } else {
+        BitDecision::Erased
+    }
+}
+
+/// De-spreads a soft-sample stream (starting exactly at a bit boundary)
+/// into `(bits, erasure_flags)`; erased bits are reported as `false` with
+/// their flag set.
+///
+/// # Panics
+///
+/// Panics if `samples.len()` is not a multiple of the code length.
+pub fn despread_levels(samples: &[i32], code: &SpreadCode, tau: f64) -> (Vec<bool>, Vec<bool>) {
+    let n = code.len();
+    assert!(
+        samples.len().is_multiple_of(n),
+        "sample count {} is not a multiple of code length {n}",
+        samples.len()
+    );
+    let mut bits = Vec::with_capacity(samples.len() / n);
+    let mut erased = Vec::with_capacity(samples.len() / n);
+    for window in samples.chunks_exact(n) {
+        match decide(correlate_window(window, code), tau) {
+            BitDecision::One => {
+                bits.push(true);
+                erased.push(false);
+            }
+            BitDecision::Zero => {
+                bits.push(false);
+                erased.push(false);
+            }
+            BitDecision::Erased => {
+                bits.push(false);
+                erased.push(true);
+            }
+        }
+    }
+    (bits, erased)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn spread_length_and_content() {
+        let mut r = rng(1);
+        let code = SpreadCode::random(16, &mut r);
+        let chips = spread(&[true, false], &code);
+        assert_eq!(chips.len(), 32);
+        let bits = chips.to_bits();
+        assert_eq!(&bits[..16], &code.chips().to_bits()[..]);
+        assert_eq!(&bits[16..], &code.chips().negated().to_bits()[..]);
+    }
+
+    #[test]
+    fn clean_round_trip() {
+        let mut r = rng(2);
+        let code = SpreadCode::random(512, &mut r);
+        let msg: Vec<bool> = (0..42).map(|i| i % 3 == 0).collect();
+        let levels = spread(&msg, &code).to_levels();
+        let (bits, erased) = despread_levels(&levels, &code, DEFAULT_TAU);
+        assert_eq!(bits, msg);
+        assert!(erased.iter().all(|&e| !e));
+    }
+
+    #[test]
+    fn wrong_code_despreads_to_erasures() {
+        let mut r = rng(3);
+        let code = SpreadCode::random(512, &mut r);
+        let other = SpreadCode::random(512, &mut r);
+        let msg: Vec<bool> = (0..20).map(|i| i % 2 == 0).collect();
+        let levels = spread(&msg, &code).to_levels();
+        let (_, erased) = despread_levels(&levels, &other, DEFAULT_TAU);
+        let erased_count = erased.iter().filter(|&&e| e).count();
+        assert!(
+            erased_count >= 19,
+            "a non-matching code should look like noise; {erased_count}/20 erased"
+        );
+    }
+
+    #[test]
+    fn interference_from_other_codes_is_negligible() {
+        // Superpose 5 concurrent transmissions with independent codes; the
+        // intended one still decodes (paper's orthogonality assumption).
+        let mut r = rng(4);
+        let codes: Vec<SpreadCode> = (0..5).map(|_| SpreadCode::random(512, &mut r)).collect();
+        let msg: Vec<bool> = (0..30).map(|i| i % 7 < 3).collect();
+        let mut sum = spread(&msg, &codes[0]).to_levels();
+        for code in &codes[1..] {
+            let other_msg: Vec<bool> = (0..30).map(|i| (i + 1) % 2 == 0).collect();
+            for (s, l) in sum.iter_mut().zip(spread(&other_msg, code).to_levels()) {
+                *s += l;
+            }
+        }
+        let (bits, erased) = despread_levels(&sum, &codes[0], DEFAULT_TAU);
+        let bad = bits
+            .iter()
+            .zip(&msg)
+            .zip(&erased)
+            .filter(|((b, m), e)| **e || b != m)
+            .count();
+        assert!(
+            bad <= 1,
+            "{bad}/30 bits corrupted by cross-code interference"
+        );
+    }
+
+    #[test]
+    fn decision_thresholds() {
+        assert_eq!(decide(0.2, 0.15), BitDecision::One);
+        assert_eq!(decide(-0.2, 0.15), BitDecision::Zero);
+        assert_eq!(decide(0.1, 0.15), BitDecision::Erased);
+        assert_eq!(decide(0.15, 0.15), BitDecision::One);
+        assert_eq!(decide(-0.15, 0.15), BitDecision::Zero);
+        assert_eq!(BitDecision::One.bit(), Some(true));
+        assert_eq!(BitDecision::Zero.bit(), Some(false));
+        assert_eq!(BitDecision::Erased.bit(), None);
+    }
+
+    #[test]
+    fn correlate_window_exact_values() {
+        let code = SpreadCode::from_bits(&[true, true, false, false]);
+        assert_eq!(correlate_window(&[1, 1, -1, -1], &code), 1.0);
+        assert_eq!(correlate_window(&[-1, -1, 1, 1], &code), -1.0);
+        assert_eq!(correlate_window(&[0, 0, 0, 0], &code), 0.0);
+        assert_eq!(correlate_window(&[2, 2, -2, -2], &code), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn misaligned_despread_panics() {
+        let mut r = rng(5);
+        let code = SpreadCode::random(8, &mut r);
+        despread_levels(&[0i32; 12], &code, 0.15);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn round_trip_any_message(
+            seed in 0u64..1000,
+            msg in proptest::collection::vec(any::<bool>(), 1..60),
+            n_pow in 5u32..10,
+        ) {
+            let n = 1usize << n_pow;
+            let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+            let code = SpreadCode::random(n, &mut r);
+            let levels = spread(&msg, &code).to_levels();
+            let (bits, erased) = despread_levels(&levels, &code, DEFAULT_TAU);
+            prop_assert_eq!(bits, msg);
+            prop_assert!(erased.iter().all(|&e| !e));
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! The DSSS buffering/processing schedule of Section V-B.
+//!
+//! A receiver cannot correlate in real time against its whole code set:
+//! correlating one `N`-chip window against one code costs `ρ·N` seconds,
+//! and each buffered chip position needs `m` correlations. The paper
+//! resolves the resulting gap with a buffer-then-process schedule whose
+//! constants — reproduced here exactly — drive both the protocol (how many
+//! HELLO rounds `r` the initiator must transmit) and the latency analysis
+//! of Theorem 2:
+//!
+//! * `t_h = l_h·N / R` — time to transmit one spread HELLO copy;
+//! * `t_b = (m+1)·t_h` — buffering window that guarantees one complete copy;
+//! * `λ = ρ·N·m·R` — processing/buffering time ratio;
+//! * `t_p = λ·t_b` — time to scan one buffer;
+//! * `r = ⌈(λ+1)(m+1)/m⌉` — HELLO rounds so the target buffers a full copy.
+
+use jrsnd_sim::time::SimDuration;
+
+/// The derived DSSS schedule for a given parameter set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Schedule {
+    /// Chip length `N`.
+    pub n_chips: usize,
+    /// Codes per node `m`.
+    pub m: usize,
+    /// Chip rate `R` in chips/second.
+    pub chip_rate: f64,
+    /// Correlation cost `ρ` in seconds per correlated bit.
+    pub rho: f64,
+    /// Encoded HELLO length `l_h` in bits.
+    pub l_h: usize,
+}
+
+impl Schedule {
+    /// Builds the schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero/non-positive.
+    pub fn new(n_chips: usize, m: usize, chip_rate: f64, rho: f64, l_h: usize) -> Self {
+        assert!(
+            n_chips > 0 && m > 0 && l_h > 0,
+            "dimensions must be positive"
+        );
+        assert!(
+            chip_rate > 0.0 && rho > 0.0 && chip_rate.is_finite() && rho.is_finite(),
+            "rates must be positive and finite"
+        );
+        Schedule {
+            n_chips,
+            m,
+            chip_rate,
+            rho,
+            l_h,
+        }
+    }
+
+    /// `t_h = l_h·N/R`: seconds to transmit one spread HELLO copy.
+    pub fn t_h(&self) -> f64 {
+        self.l_h as f64 * self.n_chips as f64 / self.chip_rate
+    }
+
+    /// `t_b = (m+1)·t_h`: the buffering window guaranteeing a complete copy
+    /// even with arbitrary phase.
+    pub fn t_b(&self) -> f64 {
+        (self.m as f64 + 1.0) * self.t_h()
+    }
+
+    /// `λ = ρ·N·m·R`: ratio of processing time to buffering time.
+    pub fn lambda(&self) -> f64 {
+        self.rho * self.n_chips as f64 * self.m as f64 * self.chip_rate
+    }
+
+    /// `t_p = λ·t_b`: seconds to scan one full buffer against all `m`
+    /// codes.
+    pub fn t_p(&self) -> f64 {
+        self.lambda() * self.t_b()
+    }
+
+    /// `r = ⌈(λ+1)(m+1)/m⌉`: HELLO broadcast rounds.
+    pub fn r(&self) -> usize {
+        (((self.lambda() + 1.0) * (self.m as f64 + 1.0)) / self.m as f64).ceil() as usize
+    }
+
+    /// Total HELLO broadcast duration `r·m·t_h` in seconds.
+    pub fn hello_duration(&self) -> f64 {
+        self.r() as f64 * self.m as f64 * self.t_h()
+    }
+
+    /// Buffer size in chips, `f = R·t_b`.
+    pub fn buffer_chips(&self) -> usize {
+        (self.chip_rate * self.t_b()).ceil() as usize
+    }
+
+    /// `t_p` as a [`SimDuration`].
+    pub fn t_p_duration(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.t_p())
+    }
+
+    /// `t_b` as a [`SimDuration`].
+    pub fn t_b_duration(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.t_b())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table I defaults, HELLO payload l_h = (1+mu)(l_t + l_id) = 42 bits.
+    fn table1() -> Schedule {
+        Schedule::new(512, 100, 22e6, 1e-11, 42)
+    }
+
+    #[test]
+    fn paper_example_lambda() {
+        // Section V-B example: rho ~ 8.3e-12 (from 4.7e8 correlations of
+        // 256-bit sequences/s), N = 512, m = 1000, R = 22 Mb/s => lambda ~ 94.
+        let rho = 1.0 / (4.7e8 * 256.0);
+        let s = Schedule::new(512, 1000, 22e6, rho, 42);
+        assert!((s.lambda() - 94.0).abs() < 1.0, "lambda = {}", s.lambda());
+    }
+
+    #[test]
+    fn table1_derived_quantities() {
+        let s = table1();
+        // t_h = 42 * 512 / 22e6 ~ 0.977 ms
+        assert!((s.t_h() - 42.0 * 512.0 / 22e6).abs() < 1e-12);
+        // lambda = 1e-11 * 512 * 100 * 22e6 ~ 11.26
+        assert!(
+            (s.lambda() - 11.2640).abs() < 1e-3,
+            "lambda = {}",
+            s.lambda()
+        );
+        // t_b = 101 * t_h
+        assert!((s.t_b() - 101.0 * s.t_h()).abs() < 1e-12);
+        // t_p = lambda * t_b
+        assert!((s.t_p() - s.lambda() * s.t_b()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_guarantees_buffering_window() {
+        // The total HELLO duration r*m*t_h must cover (lambda+1)*t_b so that
+        // whichever t_b-window the receiver buffers next contains a full
+        // copy.
+        for m in [10usize, 60, 100, 500, 1000] {
+            let s = Schedule::new(512, m, 22e6, 1e-11, 42);
+            assert!(
+                s.hello_duration() >= (s.lambda() + 1.0) * s.t_b() - 1e-9,
+                "m = {m}"
+            );
+            // And r is not absurdly larger than needed (within one round).
+            assert!(
+                (s.r() - 1) as f64 * m as f64 * s.t_h() < (s.lambda() + 1.0) * s.t_b(),
+                "m = {m}: r = {} too large",
+                s.r()
+            );
+        }
+    }
+
+    #[test]
+    fn buffer_chips_matches_window() {
+        let s = table1();
+        let f = s.buffer_chips();
+        assert_eq!(f, (22e6 * s.t_b()).ceil() as usize);
+        // Buffer must hold at least (m+1) spread HELLO copies.
+        assert!(f >= (s.m + 1) * s.l_h * s.n_chips);
+    }
+
+    #[test]
+    fn durations_round_trip() {
+        let s = table1();
+        assert!((s.t_p_duration().as_secs_f64() - s.t_p()).abs() < 1e-9);
+        assert!((s.t_b_duration().as_secs_f64() - s.t_b()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lambda_scales_linearly_in_m() {
+        let s1 = Schedule::new(512, 100, 22e6, 1e-11, 42);
+        let s2 = Schedule::new(512, 200, 22e6, 1e-11, 42);
+        assert!((s2.lambda() / s1.lambda() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_m_rejected() {
+        Schedule::new(512, 0, 22e6, 1e-11, 42);
+    }
+}

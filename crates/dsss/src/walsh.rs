@@ -1,0 +1,187 @@
+//! Walsh–Hadamard codes: perfectly orthogonal spread codes for
+//! chip-synchronous channels.
+//!
+//! The paper's MAC-layer context (ref \[12\], CDMA transmitter-based MAC)
+//! distinguishes two regimes: *asynchronous* links need pseudorandom /
+//! Gold codes (low but nonzero cross-correlation, see [`crate::gold`]),
+//! while *chip-synchronous* links — e.g. the parallel transmit chains of
+//! the multi-antenna extension, or an intra-squad broadcast channel — can
+//! use Walsh codes, whose aligned cross-correlation is **exactly zero**:
+//! concurrent same-slot transmissions cause no multiple-access
+//! interference at all.
+//!
+//! Rows of the Sylvester-construction Hadamard matrix `H_{2^k}`:
+//! `H_1 = [+]`, `H_{2n} = [[H_n, H_n], [H_n, −H_n]]`.
+
+use crate::chip::ChipSeq;
+use crate::code::SpreadCode;
+
+/// A family of `2^k` mutually orthogonal Walsh codes of length `2^k`.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_dsss::walsh::WalshFamily;
+///
+/// let fam = WalshFamily::new(6); // 64 codes of 64 chips
+/// assert_eq!(fam.len(), 64);
+/// // Distinct rows are exactly orthogonal when chip-aligned:
+/// let a = fam.chip_seq(3);
+/// let b = fam.chip_seq(40);
+/// assert_eq!(a.correlate(&b), 0.0);
+/// assert_eq!(a.correlate(&a), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WalshFamily {
+    order: u32,
+}
+
+impl WalshFamily {
+    /// Creates the family of order `k` (codes of length `2^k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= k <= 16` (65 536-chip codes are the practical
+    /// ceiling here).
+    pub fn new(k: u32) -> Self {
+        assert!((1..=16).contains(&k), "order must be in 1..=16");
+        WalshFamily { order: k }
+    }
+
+    /// Number of codes (= code length), `2^k`.
+    pub fn len(&self) -> usize {
+        1usize << self.order
+    }
+
+    /// Whether the family is empty (never; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Chip `j` of code `i`: `(-1)^{popcount(i & j)}` — the Sylvester
+    /// Hadamard entry — mapped to `true ↔ +1`.
+    #[inline]
+    pub fn chip(&self, i: usize, j: usize) -> bool {
+        debug_assert!(i < self.len() && j < self.len());
+        (i & j).count_ones().is_multiple_of(2)
+    }
+
+    /// The `i`-th Walsh code's chips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn code_bits(&self, i: usize) -> Vec<bool> {
+        assert!(i < self.len(), "code index {i} out of range {}", self.len());
+        (0..self.len()).map(|j| self.chip(i, j)).collect()
+    }
+
+    /// The `i`-th code as a [`ChipSeq`].
+    pub fn chip_seq(&self, i: usize) -> ChipSeq {
+        ChipSeq::from_bits(&self.code_bits(i))
+    }
+
+    /// The `i`-th code as a [`SpreadCode`].
+    pub fn code(&self, i: usize) -> SpreadCode {
+        SpreadCode::from_bits(&self.code_bits(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChipChannel;
+    use crate::spread::{despread_levels, spread};
+
+    #[test]
+    fn rows_are_exactly_orthogonal() {
+        let fam = WalshFamily::new(5); // 32 codes
+        for i in 0..fam.len() {
+            for j in 0..fam.len() {
+                let c = fam.chip_seq(i).correlate(&fam.chip_seq(j));
+                if i == j {
+                    assert_eq!(c, 1.0, "({i},{j})");
+                } else {
+                    assert_eq!(c, 0.0, "({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_zero_is_all_ones_and_rows_balanced() {
+        let fam = WalshFamily::new(4);
+        assert!(fam.code_bits(0).iter().all(|&b| b));
+        for i in 1..fam.len() {
+            let ones = fam.code_bits(i).iter().filter(|&&b| b).count();
+            assert_eq!(ones, fam.len() / 2, "row {i}");
+        }
+    }
+
+    #[test]
+    fn sylvester_recursion_holds() {
+        // H_{2n}[i][j] for i,j < n equals H_n[i][j]; the lower-right block
+        // is negated.
+        let small = WalshFamily::new(3);
+        let big = WalshFamily::new(4);
+        let n = small.len();
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(big.chip(i, j), small.chip(i, j));
+                assert_eq!(big.chip(i + n, j + n), !small.chip(i, j));
+                assert_eq!(big.chip(i + n, j), small.chip(i, j));
+                assert_eq!(big.chip(i, j + n), small.chip(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn synchronous_multi_user_channel_has_zero_mai() {
+        // Eight users transmit simultaneously, chip-aligned, each with its
+        // own Walsh code: every message decodes perfectly — no
+        // multiple-access interference, unlike pseudorandom codes whose
+        // residual correlation adds noise.
+        let fam = WalshFamily::new(7); // 128-chip codes
+        let mut channel = ChipChannel::new(0);
+        let messages: Vec<Vec<bool>> = (0..8)
+            .map(|u| (0..16).map(|b| (b + u) % 3 == 0).collect())
+            .collect();
+        for (u, msg) in messages.iter().enumerate() {
+            // Skip row 0 (all-ones carries DC) as real systems do.
+            channel.transmit(0, spread(msg, &fam.code(u + 1)), 1);
+        }
+        let samples = channel.render(0, 16 * 128);
+        for (u, msg) in messages.iter().enumerate() {
+            let (bits, erased) = despread_levels(&samples, &fam.code(u + 1), 0.15);
+            assert_eq!(&bits, msg, "user {u}");
+            assert!(erased.iter().all(|&e| !e), "user {u} saw interference");
+        }
+    }
+
+    #[test]
+    fn misalignment_breaks_orthogonality() {
+        // The orthogonality guarantee is synchronous-only: a one-chip
+        // offset can produce large cross-correlation — which is why the
+        // asynchronous neighbor-discovery path uses pseudorandom/Gold
+        // codes instead.
+        let fam = WalshFamily::new(6);
+        let a = fam.code_bits(1);
+        // Code 1 alternates +-+-...; shifting by one chip flips every
+        // position: correlation with code 1 becomes -1 (maximally bad).
+        let shifted: Vec<bool> = (0..a.len()).map(|j| a[(j + 1) % a.len()]).collect();
+        let c = ChipSeq::from_bits(&a).correlate(&ChipSeq::from_bits(&shifted));
+        assert_eq!(c, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be in 1..=16")]
+    fn zero_order_rejected() {
+        WalshFamily::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_bounds_checked() {
+        WalshFamily::new(3).code_bits(8);
+    }
+}

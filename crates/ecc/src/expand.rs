@@ -1,0 +1,449 @@
+//! The paper's (1+μ)-expansion message coding.
+//!
+//! Section V-B: a D-NDP message of `L = l_t + l_id` bits is ECC-encoded into
+//! `l_h = (1+μ)·L` bits such that the result tolerates up to a fraction
+//! `μ/(1+μ)` of bit errors *or losses* — so a jammer must hit at least
+//! `μ·L` bits with the correct spread code to destroy it.
+//!
+//! [`ExpansionCode`] realises that contract with Reed–Solomon at byte
+//! granularity: a message of `k` data bytes becomes `n = ⌈(1+μ)k⌉` coded
+//! bytes per chunk, correcting `n − k` byte erasures — exactly the
+//! `μ/(1+μ)` fraction. Long messages (M-NDP requests carry neighbour lists
+//! and signatures) are chunked to fit RS(255, ·) and block-interleaved so a
+//! contiguous jamming burst spreads evenly across chunks.
+//!
+//! Jammed chips manifest as *erasures* rather than errors in a DSSS
+//! receiver: the correlator sees |correlation| below the threshold τ and
+//! knows the bit is unreliable. Decoding therefore takes a per-bit erasure
+//! map.
+
+use crate::interleave::BlockInterleaver;
+use crate::rs::{RsCode, RsError};
+
+/// Errors from the expansion codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExpandError {
+    /// μ must be positive and finite.
+    BadMu,
+    /// The message is empty.
+    EmptyMessage,
+    /// Coded input length does not match the expected geometry.
+    LengthMismatch {
+        /// Expected number of coded bits.
+        expected: usize,
+        /// Got this many.
+        got: usize,
+    },
+    /// Too many erasures/errors to recover the message.
+    Unrecoverable,
+}
+
+impl std::fmt::Display for ExpandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExpandError::BadMu => write!(f, "mu must be positive and finite"),
+            ExpandError::EmptyMessage => write!(f, "message must be non-empty"),
+            ExpandError::LengthMismatch { expected, got } => {
+                write!(f, "expected {expected} coded bits, got {got}")
+            }
+            ExpandError::Unrecoverable => write!(f, "too many erasures or errors to recover"),
+        }
+    }
+}
+
+impl std::error::Error for ExpandError {}
+
+impl From<RsError> for ExpandError {
+    fn from(_: RsError) -> Self {
+        ExpandError::Unrecoverable
+    }
+}
+
+/// Geometry of one encoded message: chunk count and per-chunk RS shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Number of RS chunks.
+    pub chunks: usize,
+    /// Data bytes per chunk.
+    pub k: usize,
+    /// Coded bytes per chunk.
+    pub n: usize,
+}
+
+impl Layout {
+    /// Total coded bits.
+    pub fn coded_bits(&self) -> usize {
+        self.chunks * self.n * 8
+    }
+}
+
+/// The μ-expansion coder: rate `1/(1+μ)`, tolerating a `μ/(1+μ)` fraction
+/// of byte erasures per chunk.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_ecc::expand::ExpansionCode;
+///
+/// let code = ExpansionCode::new(1.0).unwrap(); // the paper's default mu = 1
+/// let msg: Vec<bool> = (0..21).map(|i| i % 3 == 0).collect(); // l_t + l_id bits
+/// let coded = code.encode_bits(&msg).unwrap();
+/// // Jam (erase) the entire second half: still decodable at mu = 1.
+/// let mut erased = vec![false; coded.len()];
+/// for e in erased.iter_mut().skip(coded.len() / 2) { *e = true; }
+/// let back = code.decode_bits(&coded, &erased, msg.len()).unwrap();
+/// assert_eq!(back, msg);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpansionCode {
+    mu: f64,
+}
+
+impl ExpansionCode {
+    /// Creates a coder with expansion factor μ > 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExpandError::BadMu`] unless `0 < mu` and finite.
+    pub fn new(mu: f64) -> Result<Self, ExpandError> {
+        if !(mu.is_finite() && mu > 0.0) {
+            return Err(ExpandError::BadMu);
+        }
+        Ok(ExpansionCode { mu })
+    }
+
+    /// The expansion factor μ.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The erasure fraction each chunk tolerates, `μ/(1+μ)` (up to byte
+    /// rounding in its favour).
+    pub fn tolerable_fraction(&self) -> f64 {
+        self.mu / (1.0 + self.mu)
+    }
+
+    /// Encoded length in bits for a message of `msg_bits` bits, i.e.
+    /// `≈ (1+μ)·msg_bits` rounded up to whole RS chunks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExpandError::EmptyMessage`] when `msg_bits == 0`.
+    pub fn layout(&self, msg_bits: usize) -> Result<Layout, ExpandError> {
+        if msg_bits == 0 {
+            return Err(ExpandError::EmptyMessage);
+        }
+        let total_k = msg_bits.div_ceil(8);
+        // Pick the largest k per chunk such that n = ceil((1+mu)k) <= 255.
+        let k_max = ((255.0 / (1.0 + self.mu)).floor() as usize).max(1);
+        let chunks = total_k.div_ceil(k_max);
+        let k = total_k.div_ceil(chunks);
+        let n = (((1.0 + self.mu) * k as f64).ceil() as usize)
+            .min(255)
+            .max(k + 1);
+        Ok(Layout { chunks, k, n })
+    }
+
+    /// Encodes a bit message into its jam-tolerant coded bit stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExpandError::EmptyMessage`] for an empty message.
+    pub fn encode_bits(&self, msg: &[bool]) -> Result<Vec<bool>, ExpandError> {
+        let layout = self.layout(msg.len())?;
+        let mut data = bits_to_bytes(msg);
+        data.resize(layout.chunks * layout.k, 0);
+        let rs = RsCode::new(layout.n, layout.k).expect("layout dimensions are valid");
+        let mut symbols = Vec::with_capacity(layout.chunks * layout.n);
+        for chunk in data.chunks(layout.k) {
+            symbols.extend(rs.encode(chunk).expect("chunk length matches k"));
+        }
+        let symbols = if layout.chunks > 1 {
+            BlockInterleaver::new(layout.chunks, layout.n)
+                .expect("nonzero dims")
+                .interleave(&symbols)
+                .expect("length is chunks*n")
+        } else {
+            symbols
+        };
+        Ok(bytes_to_bits(&symbols))
+    }
+
+    /// Decodes a coded bit stream given a per-bit erasure map, returning the
+    /// original `msg_bits`-bit message.
+    ///
+    /// A coded byte counts as erased if *any* of its 8 bits is flagged.
+    /// Non-flagged corrupted bits are handled as RS errors (each chunk
+    /// corrects ν errors + e erasures while `2ν + e ≤ n − k`).
+    ///
+    /// # Errors
+    ///
+    /// * [`ExpandError::LengthMismatch`] if `coded`/`erased` lengths don't
+    ///   match the layout for `msg_bits`;
+    /// * [`ExpandError::Unrecoverable`] when any chunk fails to decode.
+    pub fn decode_bits(
+        &self,
+        coded: &[bool],
+        erased: &[bool],
+        msg_bits: usize,
+    ) -> Result<Vec<bool>, ExpandError> {
+        let layout = self.layout(msg_bits)?;
+        let expected = layout.coded_bits();
+        if coded.len() != expected || erased.len() != expected {
+            return Err(ExpandError::LengthMismatch {
+                expected,
+                got: if coded.len() != expected {
+                    coded.len()
+                } else {
+                    erased.len()
+                },
+            });
+        }
+        let symbols = bits_to_bytes(coded);
+        let symbol_erased: Vec<bool> = erased.chunks(8).map(|c| c.iter().any(|&b| b)).collect();
+        let (symbols, symbol_erased) = if layout.chunks > 1 {
+            let il = BlockInterleaver::new(layout.chunks, layout.n).expect("nonzero dims");
+            (
+                il.deinterleave(&symbols).expect("geometry checked"),
+                il.deinterleave(&symbol_erased).expect("geometry checked"),
+            )
+        } else {
+            (symbols, symbol_erased)
+        };
+        let rs = RsCode::new(layout.n, layout.k).expect("layout dimensions are valid");
+        let mut data = Vec::with_capacity(layout.chunks * layout.k);
+        for ci in 0..layout.chunks {
+            let mut chunk = symbols[ci * layout.n..(ci + 1) * layout.n].to_vec();
+            let erasures: Vec<usize> = (0..layout.n)
+                .filter(|&i| symbol_erased[ci * layout.n + i])
+                .collect();
+            if erasures.len() > layout.n - layout.k {
+                return Err(ExpandError::Unrecoverable);
+            }
+            rs.decode(&mut chunk, &erasures)?;
+            data.extend_from_slice(&chunk[..layout.k]);
+        }
+        let mut bits = bytes_to_bits(&data);
+        bits.truncate(msg_bits);
+        Ok(bits)
+    }
+}
+
+/// Packs bits (MSB-first within each byte) into bytes, zero-padding the
+/// final partial byte.
+pub fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 0x80 >> (i % 8);
+        }
+    }
+    out
+}
+
+/// Unpacks bytes into bits, MSB-first.
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<bool> {
+    let mut out = Vec::with_capacity(bytes.len() * 8);
+    for &b in bytes {
+        for i in 0..8 {
+            out.push(b & (0x80 >> i) != 0);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn msg(len: usize, seed: u64) -> Vec<bool> {
+        let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..len).map(|_| r.gen()).collect()
+    }
+
+    #[test]
+    fn bit_byte_round_trip() {
+        let bits = msg(37, 1);
+        let bytes = bits_to_bytes(&bits);
+        let mut back = bytes_to_bits(&bytes);
+        back.truncate(37);
+        assert_eq!(back, bits);
+        assert_eq!(bits_to_bytes(&[true]), vec![0x80]);
+        assert!(bytes_to_bits(&[0x80])[0]);
+    }
+
+    #[test]
+    fn clean_round_trip_various_sizes() {
+        let code = ExpansionCode::new(1.0).unwrap();
+        for len in [1, 7, 8, 21, 160, 500, 1072, 4096] {
+            let m = msg(len, len as u64);
+            let coded = code.encode_bits(&m).unwrap();
+            let erased = vec![false; coded.len()];
+            assert_eq!(
+                code.decode_bits(&coded, &erased, len).unwrap(),
+                m,
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn layout_expansion_near_one_plus_mu() {
+        for mu in [0.5, 1.0, 2.0] {
+            let code = ExpansionCode::new(mu).unwrap();
+            for bits in [21, 160, 1072] {
+                let l = code.layout(bits).unwrap();
+                let ratio = l.coded_bits() as f64 / bits as f64;
+                assert!(
+                    ratio >= 1.0 + mu - 0.01 && ratio <= (1.0 + mu) * 1.6,
+                    "mu={mu}, bits={bits}, ratio={ratio}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn survives_contiguous_jam_of_tolerable_fraction() {
+        // A reactive jammer corrupts a contiguous suffix. At mu = 1 the code
+        // must survive erasure of up to half the coded bits (minus a couple
+        // of boundary symbols).
+        let code = ExpansionCode::new(1.0).unwrap();
+        for len in [21, 160, 1072] {
+            let m = msg(len, 99 + len as u64);
+            let mut coded = code.encode_bits(&m).unwrap();
+            let total = coded.len();
+            // Erase the last 45% (safely under mu/(1+mu) = 50% incl. byte
+            // boundary slop).
+            let burst = total * 45 / 100;
+            let mut erased = vec![false; total];
+            for i in (total - burst)..total {
+                coded[i] = !coded[i];
+                erased[i] = true;
+            }
+            let back = code.decode_bits(&coded, &erased, len).unwrap();
+            assert_eq!(back, m, "len {len}");
+        }
+    }
+
+    #[test]
+    fn fails_beyond_tolerable_fraction() {
+        let code = ExpansionCode::new(1.0).unwrap();
+        let m = msg(160, 5);
+        let mut coded = code.encode_bits(&m).unwrap();
+        let total = coded.len();
+        let mut erased = vec![false; total];
+        // Erase 60% > 50%.
+        for i in (total * 2 / 5)..total {
+            coded[i] = !coded[i];
+            erased[i] = true;
+        }
+        assert_eq!(
+            code.decode_bits(&coded, &erased, 160),
+            Err(ExpandError::Unrecoverable)
+        );
+    }
+
+    #[test]
+    fn corrects_unflagged_bit_errors_within_half_capacity() {
+        let code = ExpansionCode::new(1.0).unwrap();
+        let m = msg(160, 6);
+        let coded = code.encode_bits(&m).unwrap();
+        let layout = code.layout(160).unwrap();
+        // Flip bits inside a few whole symbols (< (n-k)/2 per chunk).
+        let budget = (layout.n - layout.k) / 2;
+        let mut corrupted = coded.clone();
+        for s in 0..budget.min(3) {
+            let bit = s * 8 * (layout.chunks.max(1)) + 3;
+            corrupted[bit] = !corrupted[bit];
+        }
+        let erased = vec![false; coded.len()];
+        assert_eq!(code.decode_bits(&corrupted, &erased, 160).unwrap(), m);
+    }
+
+    #[test]
+    fn random_scattered_erasures_within_budget() {
+        let code = ExpansionCode::new(1.0).unwrap();
+        let mut r = rand::rngs::StdRng::seed_from_u64(8);
+        for trial in 0..20 {
+            let len = 1072; // M-NDP-request sized
+            let m = msg(len, 1000 + trial);
+            let mut coded = code.encode_bits(&m).unwrap();
+            let total = coded.len();
+            let mut erased = vec![false; total];
+            // Erase random 40% of bits.
+            for i in 0..total {
+                if r.gen_bool(0.40) {
+                    erased[i] = true;
+                    coded[i] = r.gen();
+                }
+            }
+            match code.decode_bits(&coded, &erased, len) {
+                Ok(back) => assert_eq!(back, m),
+                Err(ExpandError::Unrecoverable) => {
+                    // Random byte-aligned clustering can exceed a chunk's
+                    // budget at 40%+; tolerate rare failures but not often.
+                }
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert_eq!(ExpansionCode::new(0.0).unwrap_err(), ExpandError::BadMu);
+        assert_eq!(ExpansionCode::new(-1.0).unwrap_err(), ExpandError::BadMu);
+        assert_eq!(
+            ExpansionCode::new(f64::INFINITY).unwrap_err(),
+            ExpandError::BadMu
+        );
+        let code = ExpansionCode::new(1.0).unwrap();
+        assert_eq!(code.layout(0).unwrap_err(), ExpandError::EmptyMessage);
+        assert!((code.tolerable_fraction() - 0.5).abs() < 1e-12);
+        let coded = code.encode_bits(&[true; 21]).unwrap();
+        assert!(matches!(
+            code.decode_bits(&coded[1..], &vec![false; coded.len() - 1], 21),
+            Err(ExpandError::LengthMismatch { .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn round_trip_with_burst_under_budget(
+            len in 1usize..600,
+            mu_tenths in 5u32..30,
+            start_frac in 0.0f64..1.0,
+        ) {
+            let mu = f64::from(mu_tenths) / 10.0;
+            let code = ExpansionCode::new(mu).unwrap();
+            let layout = code.layout(len).unwrap();
+            let m: Vec<bool> = (0..len).map(|i| i % 5 < 2).collect();
+            let mut coded = code.encode_bits(&m).unwrap();
+            let total = coded.len();
+            // Guaranteed-recoverable burst, accounting for byte
+            // granularity: a burst of B consecutive coded bytes touches at
+            // most B+1 distinct bytes, and the interleaver spreads B+1
+            // consecutive bytes over the chunks so each sees at most
+            // ceil((B+1)/chunks) <= n-k erasures when
+            // B = (n-k-1)*chunks.
+            let burst_bytes = (layout.n - layout.k).saturating_sub(1) * layout.chunks;
+            let burst = burst_bytes * 8;
+            prop_assume!(burst > 0);
+            let start = ((total - burst) as f64 * start_frac) as usize;
+            let mut erased = vec![false; total];
+            for i in start..start + burst {
+                coded[i] = !coded[i];
+                erased[i] = true;
+            }
+            let back = code.decode_bits(&coded, &erased, len).unwrap();
+            prop_assert_eq!(back, m);
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Arithmetic in GF(2⁸), the field underlying the Reed–Solomon codec.
+//!
+//! Elements are bytes; addition is XOR; multiplication is polynomial
+//! multiplication modulo the primitive polynomial
+//! `x⁸ + x⁴ + x³ + x² + 1` (0x11D), the conventional choice for RS(255, k).
+//! Exp/log tables are built at first use and shared.
+
+use std::sync::OnceLock;
+
+/// The primitive polynomial 0x11D without its leading x⁸ term.
+const PRIM_POLY: u16 = 0x11D;
+
+/// The multiplicative generator α = 0x02.
+pub const GENERATOR: Gf256 = Gf256(0x02);
+
+struct Tables {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        #[allow(clippy::needless_range_loop)] // i is also the exponent being logged
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= PRIM_POLY;
+            }
+        }
+        // Duplicate so exp[log a + log b] never needs a mod-255 reduction.
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// An element of GF(2⁸).
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_ecc::gf256::Gf256;
+///
+/// let a = Gf256::new(0x53);
+/// assert_eq!(a + a, Gf256::ZERO);      // characteristic 2
+/// assert_eq!(a * a.inverse().unwrap(), Gf256::ONE);
+/// assert_eq!(Gf256::new(2) * Gf256::new(3), Gf256::new(6));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Gf256(pub u8);
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+
+    /// Wraps a byte as a field element.
+    #[inline]
+    pub const fn new(v: u8) -> Self {
+        Gf256(v)
+    }
+
+    /// The underlying byte.
+    #[inline]
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the zero element.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// α^i for the field generator α = 2.
+    #[inline]
+    pub fn alpha_pow(i: usize) -> Gf256 {
+        Gf256(tables().exp[i % 255])
+    }
+
+    /// Discrete log base α; `None` for zero.
+    #[inline]
+    pub fn log(self) -> Option<u8> {
+        if self.is_zero() {
+            None
+        } else {
+            Some(tables().log[self.0 as usize])
+        }
+    }
+
+    /// Multiplicative inverse; `None` for zero.
+    #[inline]
+    pub fn inverse(self) -> Option<Gf256> {
+        self.log().map(|l| Gf256(tables().exp[255 - l as usize]))
+    }
+
+    /// Raises to an arbitrary power (with `0⁰ = 1`).
+    pub fn pow(self, e: usize) -> Gf256 {
+        if e == 0 {
+            return Gf256::ONE;
+        }
+        if self.is_zero() {
+            return Gf256::ZERO;
+        }
+        let l = u32::from(tables().log[self.0 as usize]);
+        let idx = (l as u64 * e as u64) % 255;
+        Gf256(tables().exp[idx as usize])
+    }
+}
+
+impl std::ops::Add for Gf256 {
+    type Output = Gf256;
+    // XOR IS addition/subtraction in a characteristic-2 field.
+    #[allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+    #[inline]
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Gf256 {
+    // XOR IS addition/subtraction in a characteristic-2 field.
+    #[allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+    #[inline]
+    fn add_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl std::ops::Sub for Gf256 {
+    type Output = Gf256;
+    // XOR IS addition/subtraction in a characteristic-2 field.
+    #[allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+    #[inline]
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        // Characteristic 2: subtraction == addition.
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl std::ops::Mul for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        if self.is_zero() || rhs.is_zero() {
+            return Gf256::ZERO;
+        }
+        let t = tables();
+        let idx = t.log[self.0 as usize] as usize + t.log[rhs.0 as usize] as usize;
+        Gf256(t.exp[idx])
+    }
+}
+
+impl std::ops::MulAssign for Gf256 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Gf256) {
+        *self = *self * rhs;
+    }
+}
+
+impl std::ops::Div for Gf256 {
+    type Output = Gf256;
+
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    // Division is multiplication by the inverse in a field.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn div(self, rhs: Gf256) -> Gf256 {
+        let inv = rhs.inverse().expect("division by zero in GF(256)");
+        self * inv
+    }
+}
+
+impl From<u8> for Gf256 {
+    fn from(v: u8) -> Self {
+        Gf256(v)
+    }
+}
+
+impl From<Gf256> for u8 {
+    fn from(v: Gf256) -> Self {
+        v.0
+    }
+}
+
+impl std::fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#04x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_is_xor_and_self_inverse() {
+        for a in 0..=255u8 {
+            let x = Gf256(a);
+            assert_eq!(x + x, Gf256::ZERO);
+            assert_eq!(x + Gf256::ZERO, x);
+            assert_eq!(x - x, Gf256::ZERO);
+        }
+    }
+
+    #[test]
+    fn multiplication_identity_and_zero() {
+        for a in 0..=255u8 {
+            let x = Gf256(a);
+            assert_eq!(x * Gf256::ONE, x);
+            assert_eq!(x * Gf256::ZERO, Gf256::ZERO);
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        assert_eq!(Gf256::ZERO.inverse(), None);
+        for a in 1..=255u8 {
+            let x = Gf256(a);
+            let inv = x.inverse().unwrap();
+            assert_eq!(x * inv, Gf256::ONE, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative_sampled() {
+        // Exhaustive commutativity; sampled associativity.
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(Gf256(a) * Gf256(b), Gf256(b) * Gf256(a));
+            }
+        }
+        for a in (0..=255u8).step_by(7) {
+            for b in (0..=255u8).step_by(11) {
+                for c in (0..=255u8).step_by(13) {
+                    let (x, y, z) = (Gf256(a), Gf256(b), Gf256(c));
+                    assert_eq!((x * y) * z, x * (y * z));
+                    assert_eq!(x * (y + z), x * y + x * z, "distributivity");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let mut seen = std::collections::HashSet::new();
+        let mut x = Gf256::ONE;
+        for _ in 0..255 {
+            assert!(seen.insert(x), "generator order < 255");
+            x *= GENERATOR;
+        }
+        assert_eq!(x, Gf256::ONE);
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        for a in [0u8, 1, 2, 3, 0x53, 0xFF] {
+            let x = Gf256(a);
+            let mut acc = Gf256::ONE;
+            for e in 0..520 {
+                assert_eq!(x.pow(e), acc, "a={a}, e={e}");
+                acc *= x;
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_pow_wraps_at_255() {
+        assert_eq!(Gf256::alpha_pow(0), Gf256::ONE);
+        assert_eq!(Gf256::alpha_pow(255), Gf256::ONE);
+        assert_eq!(Gf256::alpha_pow(256), GENERATOR);
+        assert_eq!(Gf256::alpha_pow(1), GENERATOR);
+    }
+
+    #[test]
+    fn division_round_trips() {
+        for a in 1..=255u8 {
+            for b in (1..=255u8).step_by(17) {
+                let q = Gf256(a) / Gf256(b);
+                assert_eq!(q * Gf256(b), Gf256(a));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = Gf256(5) / Gf256::ZERO;
+    }
+
+    #[test]
+    fn log_exp_round_trip() {
+        for a in 1..=255u8 {
+            let l = Gf256(a).log().unwrap();
+            assert_eq!(Gf256::alpha_pow(l as usize), Gf256(a));
+        }
+    }
+}

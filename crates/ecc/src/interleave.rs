@@ -1,0 +1,222 @@
+//! Block interleaving.
+//!
+//! A reactive jammer that identifies the spread code mid-message corrupts a
+//! *contiguous suffix* of the transmission. Interleaving the ECC-coded
+//! symbols spreads such a burst across many codewords so each one sees
+//! roughly its share of erasures instead of one codeword absorbing the
+//! whole burst.
+
+/// A rows × cols block interleaver: symbols are written row-major and read
+/// column-major.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_ecc::interleave::BlockInterleaver;
+///
+/// let il = BlockInterleaver::new(2, 3).unwrap();
+/// let out = il.interleave(&[1, 2, 3, 4, 5, 6]).unwrap();
+/// assert_eq!(out, vec![1, 4, 2, 5, 3, 6]);
+/// let back = il.deinterleave(&out).unwrap();
+/// assert_eq!(back, vec![1, 2, 3, 4, 5, 6]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockInterleaver {
+    rows: usize,
+    cols: usize,
+}
+
+/// Errors from interleaving operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterleaveError {
+    /// Dimensions were zero.
+    ZeroDimension,
+    /// The input length is not `rows * cols`.
+    LengthMismatch {
+        /// `rows * cols`.
+        expected: usize,
+        /// Length supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for InterleaveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterleaveError::ZeroDimension => write!(f, "interleaver dimensions must be nonzero"),
+            InterleaveError::LengthMismatch { expected, got } => {
+                write!(f, "expected {expected} symbols, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterleaveError {}
+
+impl BlockInterleaver {
+    /// Creates an interleaver with the given block shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterleaveError::ZeroDimension`] if either dimension is 0.
+    pub fn new(rows: usize, cols: usize) -> Result<Self, InterleaveError> {
+        if rows == 0 || cols == 0 {
+            return Err(InterleaveError::ZeroDimension);
+        }
+        Ok(BlockInterleaver { rows, cols })
+    }
+
+    /// Block size `rows * cols`.
+    pub fn block_len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Permuted index: where input position `i` lands in the output.
+    #[inline]
+    pub fn permute(&self, i: usize) -> usize {
+        let (r, c) = (i / self.cols, i % self.cols);
+        c * self.rows + r
+    }
+
+    /// Inverse permutation.
+    #[inline]
+    pub fn unpermute(&self, j: usize) -> usize {
+        let (c, r) = (j / self.rows, j % self.rows);
+        r * self.cols + c
+    }
+
+    /// Interleaves one block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterleaveError::LengthMismatch`] for a wrong-size input.
+    pub fn interleave<T: Copy + Default>(&self, input: &[T]) -> Result<Vec<T>, InterleaveError> {
+        self.check(input.len())?;
+        let mut out = vec![T::default(); input.len()];
+        for (i, &v) in input.iter().enumerate() {
+            out[self.permute(i)] = v;
+        }
+        Ok(out)
+    }
+
+    /// Reverses [`BlockInterleaver::interleave`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterleaveError::LengthMismatch`] for a wrong-size input.
+    pub fn deinterleave<T: Copy + Default>(&self, input: &[T]) -> Result<Vec<T>, InterleaveError> {
+        self.check(input.len())?;
+        let mut out = vec![T::default(); input.len()];
+        for (j, &v) in input.iter().enumerate() {
+            out[self.unpermute(j)] = v;
+        }
+        Ok(out)
+    }
+
+    fn check(&self, len: usize) -> Result<(), InterleaveError> {
+        if len != self.block_len() {
+            return Err(InterleaveError::LengthMismatch {
+                expected: self.block_len(),
+                got: len,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_identity() {
+        let il = BlockInterleaver::new(4, 7).unwrap();
+        let data: Vec<u32> = (0..28).collect();
+        let mixed = il.interleave(&data).unwrap();
+        assert_ne!(mixed, data);
+        assert_eq!(il.deinterleave(&mixed).unwrap(), data);
+    }
+
+    #[test]
+    fn permute_unpermute_are_inverse() {
+        let il = BlockInterleaver::new(5, 3).unwrap();
+        for i in 0..15 {
+            assert_eq!(il.unpermute(il.permute(i)), i);
+            assert_eq!(il.permute(il.unpermute(i)), i);
+        }
+    }
+
+    #[test]
+    fn burst_spreads_across_rows() {
+        // A burst of `rows` consecutive output symbols touches each input
+        // row exactly once, i.e. at most ceil(burst/rows) symbols per
+        // codeword when codewords are rows.
+        let rows = 6;
+        let cols = 10;
+        let il = BlockInterleaver::new(rows, cols).unwrap();
+        let burst_start = 17;
+        let burst_len = rows;
+        let mut hits_per_row = vec![0usize; rows];
+        for j in burst_start..burst_start + burst_len {
+            let i = il.unpermute(j);
+            hits_per_row[i / cols] += 1;
+        }
+        assert!(hits_per_row.iter().all(|&h| h == 1), "{hits_per_row:?}");
+    }
+
+    #[test]
+    fn degenerate_shapes_are_identity() {
+        let data: Vec<u8> = (0..9).collect();
+        for il in [
+            BlockInterleaver::new(1, 9).unwrap(),
+            BlockInterleaver::new(9, 1).unwrap(),
+        ] {
+            assert_eq!(il.interleave(&data).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn errors_on_bad_inputs() {
+        assert_eq!(
+            BlockInterleaver::new(0, 3),
+            Err(InterleaveError::ZeroDimension)
+        );
+        let il = BlockInterleaver::new(2, 3).unwrap();
+        assert!(matches!(
+            il.interleave(&[0u8; 5]),
+            Err(InterleaveError::LengthMismatch {
+                expected: 6,
+                got: 5
+            })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn round_trip(rows in 1usize..12, cols in 1usize..12, seed in 0u64..100) {
+            use rand::{Rng, SeedableRng};
+            let il = BlockInterleaver::new(rows, cols).unwrap();
+            let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+            let data: Vec<u8> = (0..rows * cols).map(|_| r.gen()).collect();
+            let mixed = il.interleave(&data).unwrap();
+            prop_assert_eq!(il.deinterleave(&mixed).unwrap(), data);
+        }
+
+        #[test]
+        fn permutation_is_bijection(rows in 1usize..16, cols in 1usize..16) {
+            let il = BlockInterleaver::new(rows, cols).unwrap();
+            let mut seen = vec![false; rows * cols];
+            for i in 0..rows * cols {
+                let j = il.permute(i);
+                prop_assert!(!seen[j]);
+                seen[j] = true;
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Error-correcting-code substrate for the JR-SND reproduction.
+//!
+//! Every D-NDP/M-NDP message in the paper is "encoded with an
+//! error-correcting code (ECC) such as \[15\]" — Reed & Solomon 1960 — so
+//! that a message expanded by a factor `(1+μ)` survives a `μ/(1+μ)`
+//! fraction of jammed bits. This crate builds that stack from scratch:
+//!
+//! * [`gf256`] — GF(2⁸) field arithmetic (tables over 0x11D);
+//! * [`poly`] — polynomials over GF(2⁸);
+//! * [`rs`] — a systematic Reed–Solomon codec with full errors-and-erasures
+//!   decoding (syndromes, Berlekamp–Massey, Chien search, Forney);
+//! * [`interleave`] — block interleaving so a reactive jammer's contiguous
+//!   burst spreads across codewords;
+//! * [`expand`] — the paper's `(1+μ)`-expansion framing
+//!   ([`expand::ExpansionCode`]) used by the protocol layer.
+//!
+//! # Examples
+//!
+//! Encode the 21-bit D-NDP HELLO payload with the paper's μ = 1 and survive
+//! a half-message jam:
+//!
+//! ```
+//! use jrsnd_ecc::expand::ExpansionCode;
+//!
+//! let code = ExpansionCode::new(1.0)?;
+//! let hello: Vec<bool> = (0..21).map(|i| i % 2 == 0).collect();
+//! let coded = code.encode_bits(&hello)?;
+//! let mut erased = vec![false; coded.len()];
+//! for e in erased.iter_mut().take(coded.len() / 2) { *e = true; }
+//! assert_eq!(code.decode_bits(&coded, &erased, hello.len())?, hello);
+//! # Ok::<(), jrsnd_ecc::expand::ExpandError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expand;
+pub mod gf256;
+pub mod interleave;
+pub mod poly;
+pub mod rs;
+
+pub use expand::{ExpandError, ExpansionCode};
+pub use rs::{RsCode, RsError};

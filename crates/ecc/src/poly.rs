@@ -1,0 +1,331 @@
+//! Polynomials over GF(2⁸), the workhorse of the Reed–Solomon codec.
+//!
+//! Coefficients are stored lowest-degree first: `p.coeff(i)` is the
+//! coefficient of xⁱ. The zero polynomial is the empty coefficient vector.
+
+use crate::gf256::Gf256;
+
+/// A polynomial over GF(2⁸), lowest-degree coefficient first.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_ecc::gf256::Gf256;
+/// use jrsnd_ecc::poly::Poly;
+///
+/// // p(x) = 1 + 2x
+/// let p = Poly::from_coeffs(vec![Gf256::new(1), Gf256::new(2)]);
+/// assert_eq!(p.eval(Gf256::new(3)), Gf256::new(1) + Gf256::new(2) * Gf256::new(3));
+/// assert_eq!(p.degree(), Some(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Poly {
+    coeffs: Vec<Gf256>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Self {
+        Poly {
+            coeffs: vec![Gf256::ONE],
+        }
+    }
+
+    /// Builds from coefficients (lowest degree first); trailing zeros are
+    /// trimmed.
+    pub fn from_coeffs(coeffs: Vec<Gf256>) -> Self {
+        let mut p = Poly { coeffs };
+        p.trim();
+        p
+    }
+
+    /// The monomial `c·xᵈ`.
+    pub fn monomial(c: Gf256, d: usize) -> Self {
+        if c.is_zero() {
+            return Poly::zero();
+        }
+        let mut coeffs = vec![Gf256::ZERO; d + 1];
+        coeffs[d] = c;
+        Poly { coeffs }
+    }
+
+    fn trim(&mut self) {
+        while self.coeffs.last().is_some_and(|c| c.is_zero()) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        if self.coeffs.is_empty() {
+            None
+        } else {
+            Some(self.coeffs.len() - 1)
+        }
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Coefficient of xⁱ (zero beyond the degree).
+    pub fn coeff(&self, i: usize) -> Gf256 {
+        self.coeffs.get(i).copied().unwrap_or(Gf256::ZERO)
+    }
+
+    /// Coefficients, lowest degree first.
+    pub fn coeffs(&self) -> &[Gf256] {
+        &self.coeffs
+    }
+
+    /// Evaluates at `x` by Horner's rule.
+    pub fn eval(&self, x: Gf256) -> Gf256 {
+        let mut acc = Gf256::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Adds two polynomials.
+    pub fn add(&self, other: &Poly) -> Poly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let coeffs = (0..n).map(|i| self.coeff(i) + other.coeff(i)).collect();
+        Poly::from_coeffs(coeffs)
+    }
+
+    /// Multiplies two polynomials (schoolbook; degrees here are ≤ 255).
+    pub fn mul(&self, other: &Poly) -> Poly {
+        if self.is_zero() || other.is_zero() {
+            return Poly::zero();
+        }
+        let mut coeffs = vec![Gf256::ZERO; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] += a * b;
+            }
+        }
+        Poly::from_coeffs(coeffs)
+    }
+
+    /// Multiplies by a scalar.
+    pub fn scale(&self, s: Gf256) -> Poly {
+        Poly::from_coeffs(self.coeffs.iter().map(|&c| c * s).collect())
+    }
+
+    /// Multiplies by xᵏ (shift up).
+    pub fn shift(&self, k: usize) -> Poly {
+        if self.is_zero() {
+            return Poly::zero();
+        }
+        let mut coeffs = vec![Gf256::ZERO; k];
+        coeffs.extend_from_slice(&self.coeffs);
+        Poly { coeffs }
+    }
+
+    /// Euclidean division: returns `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &Poly) -> (Poly, Poly) {
+        let d_deg = divisor.degree().expect("division by zero polynomial");
+        let d_lead_inv = divisor.coeffs[d_deg]
+            .inverse()
+            .expect("leading coefficient is nonzero by trim invariant");
+        let mut rem = self.clone();
+        let mut quot = Poly::zero();
+        while let Some(r_deg) = rem.degree() {
+            if r_deg < d_deg {
+                break;
+            }
+            let factor = rem.coeffs[r_deg] * d_lead_inv;
+            let shift = r_deg - d_deg;
+            quot = quot.add(&Poly::monomial(factor, shift));
+            rem = rem.add(&divisor.scale(factor).shift(shift));
+        }
+        (quot, rem)
+    }
+
+    /// The formal derivative. In characteristic 2 the even-power terms
+    /// vanish: d/dx Σ cᵢxⁱ = Σ_{i odd} cᵢ x^{i−1}.
+    pub fn derivative(&self) -> Poly {
+        let coeffs = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, &c)| if i % 2 == 1 { c } else { Gf256::ZERO })
+            .collect();
+        Poly::from_coeffs(coeffs)
+    }
+}
+
+impl std::fmt::Display for Poly {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let terms: Vec<String> = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_zero())
+            .map(|(i, c)| match i {
+                0 => format!("{c}"),
+                1 => format!("{c}*x"),
+                _ => format!("{c}*x^{i}"),
+            })
+            .collect();
+        write!(f, "{}", terms.join(" + "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(coeffs: &[u8]) -> Poly {
+        Poly::from_coeffs(coeffs.iter().map(|&c| Gf256::new(c)).collect())
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(Poly::zero().is_zero());
+        assert_eq!(Poly::zero().degree(), None);
+        assert_eq!(Poly::one().degree(), Some(0));
+        assert_eq!(Poly::one().eval(Gf256::new(200)), Gf256::ONE);
+    }
+
+    #[test]
+    fn trailing_zeros_trimmed() {
+        let q = p(&[1, 2, 0, 0]);
+        assert_eq!(q.degree(), Some(1));
+        assert_eq!(q, p(&[1, 2]));
+        assert!(p(&[0, 0, 0]).is_zero());
+    }
+
+    #[test]
+    fn eval_horner_matches_direct() {
+        let q = p(&[7, 3, 1, 9]);
+        for x in [0u8, 1, 2, 100, 255] {
+            let x = Gf256::new(x);
+            let direct = Gf256::new(7)
+                + Gf256::new(3) * x
+                + Gf256::new(1) * x.pow(2)
+                + Gf256::new(9) * x.pow(3);
+            assert_eq!(q.eval(x), direct);
+        }
+    }
+
+    #[test]
+    fn add_is_characteristic_two() {
+        let q = p(&[1, 2, 3]);
+        assert!(q.add(&q).is_zero());
+        assert_eq!(q.add(&Poly::zero()), q);
+    }
+
+    #[test]
+    fn mul_degree_and_eval_homomorphism() {
+        let a = p(&[1, 2, 3]);
+        let b = p(&[5, 6]);
+        let prod = a.mul(&b);
+        assert_eq!(prod.degree(), Some(3));
+        for x in 0..=255u8 {
+            let x = Gf256::new(x);
+            assert_eq!(prod.eval(x), a.eval(x) * b.eval(x));
+        }
+    }
+
+    #[test]
+    fn div_rem_reconstructs() {
+        let a = p(&[1, 0, 3, 0, 7, 9]);
+        let b = p(&[3, 1, 2]);
+        let (q, r) = a.div_rem(&b);
+        assert!(r.degree().is_none_or(|d| d < b.degree().unwrap()));
+        let back = q.mul(&b).add(&r);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn div_by_larger_degree_gives_zero_quotient() {
+        let a = p(&[1, 2]);
+        let b = p(&[1, 2, 3, 4]);
+        let (q, r) = a.div_rem(&b);
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero polynomial")]
+    fn div_by_zero_panics() {
+        p(&[1]).div_rem(&Poly::zero());
+    }
+
+    #[test]
+    fn derivative_drops_even_terms() {
+        // d/dx (c0 + c1 x + c2 x^2 + c3 x^3) = c1 + 3 c3 x^2 = c1 + c3 x^2 (3 odd => coeff stays; in char 2: i*c_i = c_i for odd i, 0 for even)
+        let q = p(&[9, 5, 7, 11]);
+        let d = q.derivative();
+        assert_eq!(d, p(&[5, 0, 11]));
+        assert!(Poly::one().derivative().is_zero());
+    }
+
+    #[test]
+    fn monomial_and_shift() {
+        let m = Poly::monomial(Gf256::new(4), 3);
+        assert_eq!(m.degree(), Some(3));
+        assert_eq!(m.coeff(3), Gf256::new(4));
+        assert_eq!(p(&[1, 2]).shift(2), p(&[0, 0, 1, 2]));
+        assert!(Poly::monomial(Gf256::ZERO, 5).is_zero());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Poly::zero().to_string(), "0");
+        assert!(p(&[1, 0, 2]).to_string().contains("x^2"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_poly(max_len: usize) -> impl Strategy<Value = Poly> {
+        proptest::collection::vec(0u8..=255, 0..max_len)
+            .prop_map(|v| Poly::from_coeffs(v.into_iter().map(Gf256::new).collect()))
+    }
+
+    proptest! {
+        #[test]
+        fn mul_commutes(a in arb_poly(12), b in arb_poly(12)) {
+            prop_assert_eq!(a.mul(&b), b.mul(&a));
+        }
+
+        #[test]
+        fn div_rem_invariant(a in arb_poly(16), b in arb_poly(8)) {
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.div_rem(&b);
+            prop_assert_eq!(q.mul(&b).add(&r), a);
+            if let Some(rd) = r.degree() {
+                prop_assert!(rd < b.degree().unwrap());
+            }
+        }
+
+        #[test]
+        fn eval_is_linear(a in arb_poly(10), b in arb_poly(10), x in 0u8..=255) {
+            let x = Gf256::new(x);
+            prop_assert_eq!(a.add(&b).eval(x), a.eval(x) + b.eval(x));
+        }
+    }
+}

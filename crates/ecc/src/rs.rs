@@ -1,0 +1,560 @@
+//! A systematic Reed–Solomon codec over GF(2⁸) with errors-and-erasures
+//! decoding.
+//!
+//! This is the "\[15\] Reed & Solomon 1960" code the paper cites for encoding
+//! every D-NDP message. The implementation is the classical pipeline:
+//! syndromes → Forney syndromes (folding in known erasures) →
+//! Berlekamp–Massey → Chien search → Forney magnitudes.
+//!
+//! A code `RS(n, k)` with `2t = n − k` parity symbols corrects any pattern
+//! of ν errors and e erasures with `2ν + e ≤ 2t`.
+
+use crate::gf256::Gf256;
+use crate::poly::Poly;
+use std::fmt;
+
+/// Errors returned by the Reed–Solomon codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsError {
+    /// The corruption exceeded the code's correction capability.
+    TooManyErrors,
+    /// An erasure index was out of range or duplicated.
+    BadErasure {
+        /// The offending position.
+        position: usize,
+    },
+    /// Input length does not match the code dimensions.
+    LengthMismatch {
+        /// Expected number of symbols.
+        expected: usize,
+        /// Number of symbols supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for RsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsError::TooManyErrors => write!(f, "corruption exceeds correction capability"),
+            RsError::BadErasure { position } => {
+                write!(f, "invalid or duplicate erasure position {position}")
+            }
+            RsError::LengthMismatch { expected, got } => {
+                write!(f, "expected {expected} symbols, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RsError {}
+
+/// A systematic `RS(n, k)` code over GF(2⁸); `n ≤ 255`.
+///
+/// Codewords are laid out `[data (k symbols) | parity (n − k symbols)]`.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_ecc::rs::RsCode;
+///
+/// let code = RsCode::new(20, 12).unwrap(); // corrects 4 errors / 8 erasures
+/// let data = *b"hello jr-snd";
+/// let mut cw = code.encode(&data).unwrap();
+/// cw[0] ^= 0xAA; // flip a symbol
+/// cw[7] ^= 0x55; // and another
+/// let corrected = code.decode(&mut cw, &[]).unwrap();
+/// assert_eq!(corrected, 2);
+/// assert_eq!(&cw[..12], &data);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsCode {
+    n: usize,
+    k: usize,
+    generator: Poly,
+}
+
+impl RsCode {
+    /// Creates an `RS(n, k)` code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError::LengthMismatch`] when the dimensions are invalid
+    /// (`k == 0`, `n <= k`, or `n > 255`).
+    pub fn new(n: usize, k: usize) -> Result<Self, RsError> {
+        if k == 0 || n <= k || n > 255 {
+            return Err(RsError::LengthMismatch {
+                expected: n,
+                got: k,
+            });
+        }
+        // g(x) = prod_{i=0}^{2t-1} (x - alpha^i), first consecutive root alpha^0.
+        let mut generator = Poly::one();
+        for i in 0..(n - k) {
+            let root = Gf256::alpha_pow(i);
+            generator = generator.mul(&Poly::from_coeffs(vec![root, Gf256::ONE]));
+        }
+        Ok(RsCode { n, k, generator })
+    }
+
+    /// Codeword length in symbols.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Data length in symbols.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of parity symbols `2t = n − k`.
+    pub fn parity(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// Maximum number of correctable errors `t` (with no erasures).
+    pub fn t(&self) -> usize {
+        (self.n - self.k) / 2
+    }
+
+    /// Polynomial coefficient index of transmitted position `p`:
+    /// position 0 carries the highest-degree coefficient.
+    #[inline]
+    fn pos_to_exp(&self, p: usize) -> usize {
+        self.n - 1 - p
+    }
+
+    /// Encodes `data` (exactly `k` bytes) into an `n`-byte codeword,
+    /// `[data | parity]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError::LengthMismatch`] if `data.len() != k`.
+    pub fn encode(&self, data: &[u8]) -> Result<Vec<u8>, RsError> {
+        if data.len() != self.k {
+            return Err(RsError::LengthMismatch {
+                expected: self.k,
+                got: data.len(),
+            });
+        }
+        // m(x) * x^{2t} with data[0] as the highest-degree coefficient.
+        let mut coeffs = vec![Gf256::ZERO; self.n];
+        for (p, &b) in data.iter().enumerate() {
+            coeffs[self.pos_to_exp(p)] = Gf256::new(b);
+        }
+        let shifted = Poly::from_coeffs(coeffs);
+        let (_, rem) = shifted.div_rem(&self.generator);
+        let mut out = Vec::with_capacity(self.n);
+        out.extend_from_slice(data);
+        // Parity at positions k..n, i.e. exponents 2t-1 down to 0.
+        for p in self.k..self.n {
+            out.push(rem.coeff(self.pos_to_exp(p)).value());
+        }
+        Ok(out)
+    }
+
+    fn syndromes(&self, received: &[u8]) -> Vec<Gf256> {
+        (0..self.parity())
+            .map(|j| {
+                let aj = Gf256::alpha_pow(j);
+                let mut acc = Gf256::ZERO;
+                // Horner over descending positions: c(x) evaluated at alpha^j.
+                for &b in received {
+                    acc = acc * aj + Gf256::new(b);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Berlekamp–Massey over (Forney) syndromes; returns the error locator.
+    fn berlekamp_massey(synd: &[Gf256]) -> Poly {
+        let mut lambda = Poly::one();
+        let mut prev = Poly::one();
+        let mut l = 0usize;
+        let mut m = 1usize;
+        let mut prev_disc = Gf256::ONE;
+        for nn in 0..synd.len() {
+            let mut d = synd[nn];
+            for i in 1..=l.min(nn) {
+                d += lambda.coeff(i) * synd[nn - i];
+            }
+            if d.is_zero() {
+                m += 1;
+            } else if 2 * l <= nn {
+                let t = lambda.clone();
+                let factor = d * prev_disc.inverse().expect("prev discrepancy nonzero");
+                lambda = lambda.add(&prev.shift(m).scale(factor));
+                l = nn + 1 - l;
+                prev = t;
+                prev_disc = d;
+                m = 1;
+            } else {
+                let factor = d * prev_disc.inverse().expect("prev discrepancy nonzero");
+                lambda = lambda.add(&prev.shift(m).scale(factor));
+                m += 1;
+            }
+        }
+        lambda
+    }
+
+    /// Decodes in place, correcting errors and the given `erasures`
+    /// (transmitted positions). Returns the number of symbols corrected.
+    ///
+    /// # Errors
+    ///
+    /// * [`RsError::LengthMismatch`] if `received.len() != n`;
+    /// * [`RsError::BadErasure`] for out-of-range or duplicate erasures;
+    /// * [`RsError::TooManyErrors`] when `2ν + e > 2t` or the locator is
+    ///   inconsistent with the syndromes.
+    pub fn decode(&self, received: &mut [u8], erasures: &[usize]) -> Result<usize, RsError> {
+        if received.len() != self.n {
+            return Err(RsError::LengthMismatch {
+                expected: self.n,
+                got: received.len(),
+            });
+        }
+        let mut seen = vec![false; self.n];
+        for &e in erasures {
+            if e >= self.n || seen[e] {
+                return Err(RsError::BadErasure { position: e });
+            }
+            seen[e] = true;
+        }
+        if erasures.len() > self.parity() {
+            return Err(RsError::TooManyErrors);
+        }
+
+        let synd = self.syndromes(received);
+        if synd.iter().all(|s| s.is_zero()) {
+            return Ok(0);
+        }
+
+        // Erasure locator Gamma(x) = prod (1 - X_e x).
+        let mut gamma = Poly::one();
+        for &e in erasures {
+            let x_e = Gf256::alpha_pow(self.pos_to_exp(e));
+            gamma = gamma.mul(&Poly::from_coeffs(vec![Gf256::ONE, x_e]));
+        }
+
+        // Forney syndromes: (S(x) * Gamma(x)) mod x^{2t}, dropping the first
+        // e coefficients.
+        let s_poly = Poly::from_coeffs(synd.clone());
+        let prod = s_poly.mul(&gamma);
+        let fsynd: Vec<Gf256> = (erasures.len()..self.parity())
+            .map(|i| prod.coeff(i))
+            .collect();
+
+        // Error locator from BM on the Forney syndromes.
+        let lambda = Self::berlekamp_massey(&fsynd);
+        let nu = lambda.degree().unwrap_or(0);
+        if 2 * nu + erasures.len() > self.parity() {
+            return Err(RsError::TooManyErrors);
+        }
+
+        // Combined locator and evaluator.
+        let psi = lambda.mul(&gamma);
+        let omega_full = s_poly.mul(&psi);
+        let omega = Poly::from_coeffs((0..self.parity()).map(|i| omega_full.coeff(i)).collect());
+
+        // Chien search over all transmitted positions.
+        let mut positions = Vec::new();
+        for p in 0..self.n {
+            let x_inv = Gf256::alpha_pow(self.pos_to_exp(p))
+                .inverse()
+                .expect("alpha powers are nonzero");
+            if psi.eval(x_inv).is_zero() {
+                positions.push(p);
+            }
+        }
+        let psi_deg = psi.degree().unwrap_or(0);
+        if positions.len() != psi_deg {
+            // Locator roots missing from the position range: uncorrectable.
+            return Err(RsError::TooManyErrors);
+        }
+
+        // Forney magnitudes: e_p = X_p * Omega(X_p^{-1}) / Psi'(X_p^{-1}).
+        let psi_der = psi.derivative();
+        for &p in &positions {
+            let x = Gf256::alpha_pow(self.pos_to_exp(p));
+            let x_inv = x.inverse().expect("nonzero");
+            let denom = psi_der.eval(x_inv);
+            if denom.is_zero() {
+                return Err(RsError::TooManyErrors);
+            }
+            let mag = x * omega.eval(x_inv) / denom;
+            received[p] ^= mag.value();
+        }
+
+        // Re-check: all syndromes must now vanish.
+        if self.syndromes(received).iter().any(|s| !s.is_zero()) {
+            return Err(RsError::TooManyErrors);
+        }
+        Ok(positions.len())
+    }
+
+    /// Decodes and returns just the data symbols.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`RsCode::decode`].
+    pub fn decode_to_data(&self, received: &[u8], erasures: &[usize]) -> Result<Vec<u8>, RsError> {
+        let mut buf = received.to_vec();
+        self.decode(&mut buf, erasures)?;
+        buf.truncate(self.k);
+        Ok(buf)
+    }
+
+    /// Whether `word` is a valid codeword (all syndromes zero).
+    pub fn is_codeword(&self, word: &[u8]) -> bool {
+        word.len() == self.n && self.syndromes(word).iter().all(|s| s.is_zero())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn invalid_dimensions_rejected() {
+        assert!(RsCode::new(10, 0).is_err());
+        assert!(RsCode::new(10, 10).is_err());
+        assert!(RsCode::new(256, 100).is_err());
+        assert!(RsCode::new(255, 223).is_ok());
+    }
+
+    #[test]
+    fn encode_is_systematic_and_valid() {
+        let code = RsCode::new(15, 9).unwrap();
+        let data: Vec<u8> = (0..9).collect();
+        let cw = code.encode(&data).unwrap();
+        assert_eq!(cw.len(), 15);
+        assert_eq!(&cw[..9], &data[..]);
+        assert!(code.is_codeword(&cw));
+    }
+
+    #[test]
+    fn clean_codeword_decodes_with_zero_corrections() {
+        let code = RsCode::new(20, 12).unwrap();
+        let data: Vec<u8> = (100..112).collect();
+        let mut cw = code.encode(&data).unwrap();
+        assert_eq!(code.decode(&mut cw, &[]).unwrap(), 0);
+        assert_eq!(&cw[..12], &data[..]);
+    }
+
+    #[test]
+    fn corrects_up_to_t_errors() {
+        let code = RsCode::new(31, 19).unwrap(); // t = 6
+        let mut r = rng(1);
+        for trial in 0..50 {
+            let data: Vec<u8> = (0..19).map(|_| r.gen()).collect();
+            let clean = code.encode(&data).unwrap();
+            for nerr in 0..=6 {
+                let mut cw = clean.clone();
+                let mut positions: Vec<usize> = (0..31).collect();
+                for i in 0..nerr {
+                    let j = r.gen_range(i..31);
+                    positions.swap(i, j);
+                }
+                for &p in &positions[..nerr] {
+                    let flip = r.gen_range(1..=255u8);
+                    cw[p] ^= flip;
+                }
+                let fixed = code.decode(&mut cw, &[]).unwrap();
+                assert_eq!(&cw[..19], &data[..], "trial {trial}, {nerr} errors");
+                assert_eq!(fixed, nerr);
+            }
+        }
+    }
+
+    #[test]
+    fn corrects_up_to_2t_erasures() {
+        let code = RsCode::new(24, 12).unwrap(); // 2t = 12 erasures
+        let mut r = rng(2);
+        for _ in 0..50 {
+            let data: Vec<u8> = (0..12).map(|_| r.gen()).collect();
+            let clean = code.encode(&data).unwrap();
+            let ne = r.gen_range(0..=12);
+            let mut positions: Vec<usize> = (0..24).collect();
+            for i in 0..ne {
+                let j = r.gen_range(i..24);
+                positions.swap(i, j);
+            }
+            let erasures: Vec<usize> = positions[..ne].to_vec();
+            let mut cw = clean.clone();
+            for &p in &erasures {
+                cw[p] = r.gen(); // arbitrary garbage at erased positions
+            }
+            code.decode(&mut cw, &erasures).unwrap();
+            assert_eq!(&cw[..12], &data[..]);
+        }
+    }
+
+    #[test]
+    fn corrects_mixed_errors_and_erasures() {
+        let code = RsCode::new(32, 20).unwrap(); // 2t = 12
+        let mut r = rng(3);
+        for _ in 0..100 {
+            let data: Vec<u8> = (0..20).map(|_| r.gen()).collect();
+            let clean = code.encode(&data).unwrap();
+            // Pick nu errors + e erasures with 2nu + e <= 12.
+            let nu = r.gen_range(0..=6);
+            let e_max = 12 - 2 * nu;
+            let e = r.gen_range(0..=e_max);
+            let mut positions: Vec<usize> = (0..32).collect();
+            for i in 0..(nu + e) {
+                let j = r.gen_range(i..32);
+                positions.swap(i, j);
+            }
+            let err_pos = &positions[..nu];
+            let era_pos = &positions[nu..nu + e];
+            let mut cw = clean.clone();
+            for &p in err_pos {
+                cw[p] ^= r.gen_range(1..=255u8);
+            }
+            for &p in era_pos {
+                cw[p] = r.gen();
+            }
+            code.decode(&mut cw, era_pos).unwrap();
+            assert_eq!(&cw[..20], &data[..], "nu={nu}, e={e}");
+        }
+    }
+
+    #[test]
+    fn beyond_capacity_is_detected_not_miscorrected_mostly() {
+        // With > t errors decoding must either error out or (rarely) land on
+        // a different codeword; it must never return Ok with a non-codeword.
+        let code = RsCode::new(20, 14).unwrap(); // t = 3
+        let mut r = rng(4);
+        let mut failures = 0;
+        for _ in 0..200 {
+            let data: Vec<u8> = (0..14).map(|_| r.gen()).collect();
+            let mut cw = code.encode(&data).unwrap();
+            // 5 errors > t = 3.
+            let mut positions: Vec<usize> = (0..20).collect();
+            for i in 0..5 {
+                let j = r.gen_range(i..20);
+                positions.swap(i, j);
+            }
+            for &p in &positions[..5] {
+                cw[p] ^= r.gen_range(1..=255u8);
+            }
+            match code.decode(&mut cw, &[]) {
+                Err(RsError::TooManyErrors) => failures += 1,
+                Ok(_) => assert!(code.is_codeword(&cw)),
+                Err(e) => panic!("unexpected error {e:?}"),
+            }
+        }
+        assert!(failures > 150, "only {failures}/200 detected");
+    }
+
+    #[test]
+    fn erasure_validation() {
+        let code = RsCode::new(10, 6).unwrap();
+        let mut cw = code.encode(&[0; 6]).unwrap();
+        assert_eq!(
+            code.decode(&mut cw.clone(), &[10]),
+            Err(RsError::BadErasure { position: 10 })
+        );
+        assert_eq!(
+            code.decode(&mut cw.clone(), &[3, 3]),
+            Err(RsError::BadErasure { position: 3 })
+        );
+        assert_eq!(
+            code.decode(&mut cw, &[0, 1, 2, 3, 4]),
+            Err(RsError::TooManyErrors)
+        );
+    }
+
+    #[test]
+    fn wrong_lengths_rejected() {
+        let code = RsCode::new(10, 6).unwrap();
+        assert!(matches!(
+            code.encode(&[0; 5]),
+            Err(RsError::LengthMismatch {
+                expected: 6,
+                got: 5
+            })
+        ));
+        let mut short = vec![0u8; 9];
+        assert!(matches!(
+            code.decode(&mut short, &[]),
+            Err(RsError::LengthMismatch {
+                expected: 10,
+                got: 9
+            })
+        ));
+    }
+
+    #[test]
+    fn decode_to_data_strips_parity() {
+        let code = RsCode::new(12, 5).unwrap();
+        let data = [9, 8, 7, 6, 5];
+        let mut cw = code.encode(&data).unwrap();
+        cw[2] ^= 0xF0;
+        let out = code.decode_to_data(&cw, &[]).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn paper_scale_rate_half_code() {
+        // The D-NDP HELLO with mu = 1: l_h = 2 * (l_t + l_id) = 42 bits.
+        // At byte granularity: 6 data bytes -> RS(12, 6), correcting 6
+        // erasures = half the codeword, i.e. mu/(1+mu) of the bits.
+        let code = RsCode::new(12, 6).unwrap();
+        let data = *b"HELLO!";
+        let cw = code.encode(&data).unwrap();
+        let mut corrupted = cw.clone();
+        let erasures = [0usize, 2, 4, 6, 8, 10];
+        for &p in &erasures {
+            corrupted[p] = 0xFF;
+        }
+        let out = code.decode_to_data(&corrupted, &erasures).unwrap();
+        assert_eq!(out, data);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn decode_inverts_encode_under_capacity(
+            seed in 0u64..10_000,
+            k in 1usize..40,
+            parity in 2usize..16,
+            data in proptest::collection::vec(0u8..=255, 40),
+        ) {
+            use rand::{Rng, SeedableRng};
+            let n = k + parity;
+            prop_assume!(n <= 255);
+            let code = RsCode::new(n, k).unwrap();
+            let data = &data[..k];
+            let clean = code.encode(data).unwrap();
+            let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+            let nu = r.gen_range(0..=parity / 2);
+            let e = r.gen_range(0..=(parity - 2 * nu));
+            let mut positions: Vec<usize> = (0..n).collect();
+            for i in 0..(nu + e) {
+                let j = r.gen_range(i..n);
+                positions.swap(i, j);
+            }
+            let mut cw = clean.clone();
+            for &p in &positions[..nu] {
+                cw[p] ^= r.gen_range(1..=255u8);
+            }
+            for &p in &positions[nu..nu + e] {
+                cw[p] = r.gen();
+            }
+            code.decode(&mut cw, &positions[nu..nu + e]).unwrap();
+            prop_assert_eq!(&cw[..k], data);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! The discrete-event execution loop.
+//!
+//! [`Engine`] advances virtual time by repeatedly popping the earliest
+//! pending event and handing it to a handler, which may schedule further
+//! events. The engine owns the clock and the queue; protocol state lives in
+//! the handler's environment.
+
+use crate::event::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// Why [`Engine::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Drained,
+    /// The time horizon was reached with events still pending.
+    HorizonReached,
+    /// The handler requested a stop.
+    Stopped,
+    /// The event budget was exhausted (runaway-loop protection).
+    BudgetExhausted,
+}
+
+/// Handler verdict after each event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep processing events.
+    Continue,
+    /// Stop the run after this event.
+    Stop,
+}
+
+/// A discrete-event engine over event payloads of type `E`.
+///
+/// # Examples
+///
+/// Simulate a node that re-arms a periodic beacon three times:
+///
+/// ```
+/// use jrsnd_sim::engine::{Control, Engine, RunOutcome};
+/// use jrsnd_sim::time::{SimDuration, SimTime};
+///
+/// #[derive(Debug)]
+/// struct Beacon(u32);
+///
+/// let mut engine = Engine::new();
+/// engine.schedule_at(SimTime::ZERO, Beacon(0));
+/// let mut fired = Vec::new();
+/// let outcome = engine.run(SimTime::MAX, |eng, now, Beacon(k)| {
+///     fired.push((now, k));
+///     if k < 2 {
+///         eng.schedule_in(SimDuration::from_millis(10), Beacon(k + 1));
+///     }
+///     Control::Continue
+/// });
+/// assert_eq!(outcome, RunOutcome::Drained);
+/// assert_eq!(fired.len(), 3);
+/// assert_eq!(fired[2].0, SimTime::from_nanos(20_000_000));
+/// ```
+#[derive(Debug)]
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    events_processed: u64,
+    event_budget: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine at time zero with an effectively unlimited event
+    /// budget.
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            events_processed: 0,
+            event_budget: u64::MAX,
+        }
+    }
+
+    /// Caps the total number of events the engine will process, as a guard
+    /// against accidental event storms. The run returns
+    /// [`RunOutcome::BudgetExhausted`] when exceeded.
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = budget;
+        self
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules an event at an absolute instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is before the current virtual time; the past is
+    /// immutable in a discrete-event simulation.
+    pub fn schedule_at(&mut self, time: SimTime, payload: E) -> EventId {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: now={}, requested={}",
+            self.now,
+            time
+        );
+        self.queue.schedule(time, payload)
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, payload: E) -> EventId {
+        self.queue.schedule(self.now + delay, payload)
+    }
+
+    /// Cancels a pending event. Returns `true` if it was still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Runs until the queue drains, `horizon` is passed, the handler stops
+    /// the run, or the event budget is exhausted.
+    ///
+    /// The handler receives the engine (to schedule/cancel), the event's
+    /// firing time (equal to [`Engine::now`]), and the payload.
+    pub fn run<F>(&mut self, horizon: SimTime, mut handler: F) -> RunOutcome
+    where
+        F: FnMut(&mut Engine<E>, SimTime, E) -> Control,
+    {
+        loop {
+            match self.queue.peek_time() {
+                None => return RunOutcome::Drained,
+                Some(t) if t > horizon => return RunOutcome::HorizonReached,
+                Some(_) => {}
+            }
+            if self.events_processed >= self.event_budget {
+                return RunOutcome::BudgetExhausted;
+            }
+            let (time, payload) = self.queue.pop().expect("peeked event vanished");
+            self.now = time;
+            self.events_processed += 1;
+            // Temporarily take the queue is unnecessary: the handler gets
+            // `&mut self`, so we move the payload out first.
+            if let Control::Stop = handler(self, time, payload) {
+                return RunOutcome::Stopped;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_empty_queue_immediately() {
+        let mut e: Engine<()> = Engine::new();
+        assert_eq!(
+            e.run(SimTime::MAX, |_, _, _| Control::Continue),
+            RunOutcome::Drained
+        );
+        assert_eq!(e.events_processed(), 0);
+    }
+
+    #[test]
+    fn horizon_stops_before_future_events() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_secs(10), "far");
+        let out = e.run(SimTime::from_secs(5), |_, _, _| Control::Continue);
+        assert_eq!(out, RunOutcome::HorizonReached);
+        assert_eq!(e.pending(), 1);
+        // Resuming with a later horizon picks the event up.
+        let out = e.run(SimTime::from_secs(20), |_, _, _| Control::Continue);
+        assert_eq!(out, RunOutcome::Drained);
+    }
+
+    #[test]
+    fn handler_stop_is_respected() {
+        let mut e = Engine::new();
+        for i in 0..10u32 {
+            e.schedule_at(SimTime::from_nanos(u64::from(i)), i);
+        }
+        let mut seen = 0;
+        let out = e.run(SimTime::MAX, |_, _, i| {
+            seen += 1;
+            if i == 4 {
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
+        assert_eq!(out, RunOutcome::Stopped);
+        assert_eq!(seen, 5);
+        assert_eq!(e.pending(), 5);
+    }
+
+    #[test]
+    fn budget_guards_against_storms() {
+        let mut e = Engine::new().with_event_budget(100);
+        e.schedule_at(SimTime::ZERO, ());
+        let out = e.run(SimTime::MAX, |eng, _, ()| {
+            // Pathological self-rescheduling at the same instant.
+            eng.schedule_in(SimDuration::ZERO, ());
+            Control::Continue
+        });
+        assert_eq!(out, RunOutcome::BudgetExhausted);
+        assert_eq!(e.events_processed(), 100);
+    }
+
+    #[test]
+    fn now_advances_monotonically() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_nanos(5), ());
+        e.schedule_at(SimTime::from_nanos(3), ());
+        e.schedule_at(SimTime::from_nanos(9), ());
+        let mut last = SimTime::ZERO;
+        e.run(SimTime::MAX, |eng, now, ()| {
+            assert!(now >= last);
+            assert_eq!(eng.now(), now);
+            last = now;
+            Control::Continue
+        });
+        assert_eq!(last, SimTime::from_nanos(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_secs(1), ());
+        e.run(SimTime::MAX, |eng, _, ()| {
+            eng.schedule_at(SimTime::ZERO, ());
+            Control::Continue
+        });
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut e = Engine::new();
+        let a = e.schedule_at(SimTime::from_nanos(1), 1);
+        e.schedule_at(SimTime::from_nanos(2), 2);
+        e.cancel(a);
+        let mut fired = Vec::new();
+        e.run(SimTime::MAX, |_, _, v| {
+            fired.push(v);
+            Control::Continue
+        });
+        assert_eq!(fired, vec![2]);
+    }
+}

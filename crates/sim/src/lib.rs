@@ -1,0 +1,60 @@
+//! Discrete-event MANET simulation substrate for the JR-SND reproduction.
+//!
+//! The JR-SND paper (Zhang, Zhang & Huang, ICDCS 2011) evaluates its
+//! neighbor-discovery scheme entirely in simulation: 2000 nodes placed
+//! uniformly in a 5000 × 5000 m² field with a 300 m transmission range,
+//! averaged over 100 seeded runs. This crate provides the machinery such an
+//! evaluation needs and nothing protocol-specific:
+//!
+//! * [`time`] — virtual nanosecond clock ([`time::SimTime`],
+//!   [`time::SimDuration`]);
+//! * [`event`] / [`engine`] — a deterministic discrete-event queue and
+//!   execution loop with FIFO tie-breaking;
+//! * [`rng`] — forkable, labelled deterministic randomness
+//!   ([`rng::SimRng`]) so every figure is replayable from one `u64` seed;
+//! * [`geom`] / [`grid`] — the deployment field, uniform placement, and a
+//!   uniform-grid spatial index for O(n·g) topology construction;
+//! * [`mobility`] — static-uniform snapshots (the paper's setup) and a
+//!   random-waypoint model for mobility-driven experiments;
+//! * [`topology`] — the physical-neighbor graph and the BFS/ν-hop queries
+//!   that the multi-hop discovery protocol (M-NDP) relies on;
+//! * [`stats`] — Welford accumulators, confidence intervals, sweep series,
+//!   and text/CSV tables for the experiment harness.
+//!
+//! # Examples
+//!
+//! Build the paper's deployment snapshot and measure its mean degree:
+//!
+//! ```
+//! use jrsnd_sim::geom::Field;
+//! use jrsnd_sim::rng::SimRng;
+//! use jrsnd_sim::topology::physical_graph;
+//! use rand::SeedableRng;
+//!
+//! let field = Field::paper_default();
+//! let mut rng = SimRng::seed_from_u64(2011);
+//! let positions = field.sample_uniform_n(2000, &mut rng);
+//! let graph = physical_graph(field, &positions, 300.0);
+//! // ~ n * pi * 300^2 / 5000^2, minus border effects
+//! assert!(graph.mean_degree() > 15.0 && graph.mean_degree() < 25.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod event;
+pub mod geom;
+pub mod grid;
+pub mod mobility;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod topology;
+
+pub use engine::{Control, Engine, RunOutcome};
+pub use geom::{Field, Point};
+pub use rng::SimRng;
+pub use stats::RunningStats;
+pub use time::{SimDuration, SimTime};
+pub use topology::{physical_graph, Graph};

@@ -1,0 +1,487 @@
+//! Node mobility models.
+//!
+//! The paper's evaluation samples independent uniform snapshots (Section
+//! VI-B), which [`StaticUniform`] reproduces. Because JR-SND's whole point
+//! is *frequent re-discovery under mobility*, we additionally provide the
+//! classical [`RandomWaypoint`] model so examples and extension experiments
+//! can drive discovery epochs from actual motion.
+
+use crate::geom::{Field, Point};
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use rand::Rng;
+
+/// A mobility model: a deterministic trajectory per node.
+///
+/// Implementations must be pure functions of `(node, time)` after
+/// construction so that repeated queries replay identically.
+pub trait Mobility {
+    /// Number of nodes with trajectories.
+    fn len(&self) -> usize;
+
+    /// Whether the model tracks zero nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Position of `node` at virtual time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= self.len()`.
+    fn position(&self, node: usize, t: SimTime) -> Point;
+
+    /// Positions of every node at time `t`, in node order.
+    fn snapshot(&self, t: SimTime) -> Vec<Point> {
+        (0..self.len()).map(|i| self.position(i, t)).collect()
+    }
+}
+
+/// Nodes frozen at i.i.d. uniform positions — the paper's evaluation setup.
+#[derive(Debug, Clone)]
+pub struct StaticUniform {
+    positions: Vec<Point>,
+}
+
+impl StaticUniform {
+    /// Samples `n` uniform positions in `field`.
+    pub fn new(field: Field, n: usize, rng: &mut SimRng) -> Self {
+        StaticUniform {
+            positions: field.sample_uniform_n(n, rng),
+        }
+    }
+
+    /// Wraps explicit positions (e.g. the Fig. 1 scenario).
+    pub fn from_positions(positions: Vec<Point>) -> Self {
+        StaticUniform { positions }
+    }
+
+    /// Borrow the underlying positions.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+}
+
+impl Mobility for StaticUniform {
+    fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn position(&self, node: usize, _t: SimTime) -> Point {
+        self.positions[node]
+    }
+}
+
+/// One leg of a random-waypoint trajectory.
+#[derive(Debug, Clone, Copy)]
+struct Leg {
+    /// Departure instant (after any pause at `from`).
+    depart: SimTime,
+    /// Arrival instant at `to`.
+    arrive: SimTime,
+    from: Point,
+    to: Point,
+}
+
+/// The random-waypoint model: each node repeatedly picks a uniform waypoint
+/// and a uniform speed in `[v_min, v_max]`, travels there in a straight
+/// line, pauses, and repeats.
+///
+/// Trajectories are precomputed out to a horizon so position lookups are a
+/// pure binary search — deterministic and `Sync`.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_sim::geom::Field;
+/// use jrsnd_sim::mobility::{Mobility, RandomWaypoint};
+/// use jrsnd_sim::rng::SimRng;
+/// use jrsnd_sim::time::SimTime;
+/// use rand::SeedableRng;
+///
+/// let field = Field::new(1000.0, 1000.0);
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let rwp = RandomWaypoint::new(field, 10, 1.0, 10.0, 2.0,
+///                               SimTime::from_secs(600), &mut rng);
+/// let p0 = rwp.position(3, SimTime::from_secs(0));
+/// let p1 = rwp.position(3, SimTime::from_secs(300));
+/// assert!(field.contains(p0) && field.contains(p1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    field: Field,
+    /// Per-node legs sorted by departure time.
+    legs: Vec<Vec<Leg>>,
+}
+
+impl RandomWaypoint {
+    /// Builds trajectories for `n` nodes out to `horizon`.
+    ///
+    /// `v_min`/`v_max` are speeds in m/s; `pause_secs` is the dwell time at
+    /// each waypoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_min <= 0`, `v_max < v_min`, or `pause_secs < 0`.
+    pub fn new(
+        field: Field,
+        n: usize,
+        v_min: f64,
+        v_max: f64,
+        pause_secs: f64,
+        horizon: SimTime,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(v_min > 0.0, "v_min must be positive, got {v_min}");
+        assert!(v_max >= v_min, "v_max ({v_max}) must be >= v_min ({v_min})");
+        assert!(pause_secs >= 0.0, "pause must be non-negative");
+        let mut legs = Vec::with_capacity(n);
+        for node in 0..n {
+            let mut node_rng = rng.fork("rwp-node", node as u64);
+            let mut node_legs = Vec::new();
+            let mut pos = field.sample_uniform(&mut node_rng);
+            let mut now = 0.0f64;
+            let horizon_s = horizon.as_secs_f64();
+            while now <= horizon_s {
+                let target = field.sample_uniform(&mut node_rng);
+                let speed = if v_max > v_min {
+                    node_rng.gen_range(v_min..v_max)
+                } else {
+                    v_min
+                };
+                let depart = now;
+                let travel = pos.distance(target) / speed;
+                let arrive = depart + travel;
+                node_legs.push(Leg {
+                    depart: SimTime::from_secs_f64(depart),
+                    arrive: SimTime::from_secs_f64(arrive),
+                    from: pos,
+                    to: target,
+                });
+                pos = target;
+                now = arrive + pause_secs;
+            }
+            legs.push(node_legs);
+        }
+        RandomWaypoint { field, legs }
+    }
+
+    /// The deployment field.
+    pub fn field(&self) -> Field {
+        self.field
+    }
+}
+
+impl Mobility for RandomWaypoint {
+    fn len(&self) -> usize {
+        self.legs.len()
+    }
+
+    fn position(&self, node: usize, t: SimTime) -> Point {
+        let legs = &self.legs[node];
+        // Find the last leg departing at or before t.
+        let idx = legs.partition_point(|leg| leg.depart <= t);
+        if idx == 0 {
+            return legs.first().map_or(Point::default(), |l| l.from);
+        }
+        let leg = &legs[idx - 1];
+        if t >= leg.arrive {
+            // Pausing at the waypoint (or past the precomputed horizon:
+            // freeze at the last waypoint rather than extrapolate).
+            return leg.to;
+        }
+        let span = (leg.arrive - leg.depart).as_secs_f64();
+        let frac = if span == 0.0 {
+            1.0
+        } else {
+            (t - leg.depart).as_secs_f64() / span
+        };
+        Point::new(
+            leg.from.x + (leg.to.x - leg.from.x) * frac,
+            leg.from.y + (leg.to.y - leg.from.y) * frac,
+        )
+    }
+}
+
+/// Reference-point group mobility: squads move together.
+///
+/// Each group has a leader trajectory (random waypoint); members hold a
+/// fixed offset from their leader's reference point plus a small bounded
+/// jitter re-drawn per leg — the classical RPGM model and a natural fit
+/// for the paper's battlefield setting, where a platoon's radios travel
+/// as a unit but individual soldiers weave.
+#[derive(Debug, Clone)]
+pub struct ReferencePointGroup {
+    field: Field,
+    leaders: RandomWaypoint,
+    /// Per node: (group index, offset from the reference point).
+    membership: Vec<(usize, Point)>,
+    /// Per node: jitter amplitude in metres.
+    jitter: f64,
+    /// Per node jitter phase seeds for deterministic wobble.
+    phases: Vec<(f64, f64)>,
+}
+
+impl ReferencePointGroup {
+    /// Builds `groups` groups of `group_size` nodes each; leaders follow
+    /// random waypoint at `v_min..v_max` m/s with `pause_secs` pauses,
+    /// members sit within `spread` metres of the reference point and
+    /// wobble by up to `jitter` metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero groups/size or non-positive spread.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        field: Field,
+        groups: usize,
+        group_size: usize,
+        v_min: f64,
+        v_max: f64,
+        pause_secs: f64,
+        spread: f64,
+        jitter: f64,
+        horizon: SimTime,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(groups > 0 && group_size > 0, "need at least one node");
+        assert!(spread > 0.0 && jitter >= 0.0, "spread must be positive");
+        let mut leader_rng = rng.fork("rpgm-leaders", 0);
+        let leaders = RandomWaypoint::new(
+            field,
+            groups,
+            v_min,
+            v_max,
+            pause_secs,
+            horizon,
+            &mut leader_rng,
+        );
+        let n = groups * group_size;
+        let mut membership = Vec::with_capacity(n);
+        let mut phases = Vec::with_capacity(n);
+        for node in 0..n {
+            let mut node_rng = rng.fork("rpgm-member", node as u64);
+            let group = node / group_size;
+            let angle = node_rng.gen_range(0.0..std::f64::consts::TAU);
+            let radius = spread * node_rng.gen_range(0.0f64..1.0).sqrt();
+            membership.push((
+                group,
+                Point::new(radius * angle.cos(), radius * angle.sin()),
+            ));
+            phases.push((
+                node_rng.gen_range(0.0..std::f64::consts::TAU),
+                node_rng.gen_range(0.05..0.3),
+            ));
+        }
+        ReferencePointGroup {
+            field,
+            leaders,
+            membership,
+            jitter,
+            phases,
+        }
+    }
+
+    /// The group index of a node.
+    pub fn group_of(&self, node: usize) -> usize {
+        self.membership[node].0
+    }
+
+    /// Number of groups.
+    pub fn groups(&self) -> usize {
+        self.leaders.len()
+    }
+}
+
+impl Mobility for ReferencePointGroup {
+    fn len(&self) -> usize {
+        self.membership.len()
+    }
+
+    fn position(&self, node: usize, t: SimTime) -> Point {
+        let (group, offset) = self.membership[node];
+        let anchor = self.leaders.position(group, t);
+        let (phase, freq) = self.phases[node];
+        let wobble = t.as_secs_f64() * freq + phase;
+        let p = Point::new(
+            anchor.x + offset.x + self.jitter * wobble.sin(),
+            anchor.y + offset.y + self.jitter * wobble.cos(),
+        );
+        self.field.clamp(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn make(n: usize, seed: u64) -> RandomWaypoint {
+        let field = Field::new(1000.0, 500.0);
+        let mut rng = SimRng::seed_from_u64(seed);
+        RandomWaypoint::new(field, n, 1.0, 20.0, 5.0, SimTime::from_secs(1000), &mut rng)
+    }
+
+    #[test]
+    fn static_uniform_is_time_invariant() {
+        let field = Field::paper_default();
+        let mut rng = SimRng::seed_from_u64(4);
+        let m = StaticUniform::new(field, 50, &mut rng);
+        assert_eq!(m.len(), 50);
+        for i in 0..50 {
+            assert_eq!(
+                m.position(i, SimTime::ZERO),
+                m.position(i, SimTime::from_secs(3600))
+            );
+        }
+    }
+
+    #[test]
+    fn waypoint_positions_stay_in_field() {
+        let rwp = make(20, 9);
+        for node in 0..20 {
+            for s in (0..1000).step_by(37) {
+                let p = rwp.position(node, SimTime::from_secs(s));
+                assert!(
+                    rwp.field().contains(p),
+                    "node {node} at {s}s left field: {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn waypoint_is_deterministic() {
+        let a = make(10, 42);
+        let b = make(10, 42);
+        for node in 0..10 {
+            for s in [0, 100, 555, 999] {
+                assert_eq!(
+                    a.position(node, SimTime::from_secs(s)),
+                    b.position(node, SimTime::from_secs(s))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn waypoint_nodes_actually_move() {
+        let rwp = make(10, 7);
+        let moved = (0..10)
+            .filter(|&i| {
+                rwp.position(i, SimTime::ZERO)
+                    .distance(rwp.position(i, SimTime::from_secs(500)))
+                    > 1.0
+            })
+            .count();
+        assert!(moved >= 8, "only {moved}/10 nodes moved");
+    }
+
+    #[test]
+    fn waypoint_speed_is_bounded() {
+        let rwp = make(5, 13);
+        // Max speed 20 m/s: over any 1 s step displacement must be <= 20 m
+        // (plus float slack).
+        for node in 0..5 {
+            for s in 0..400u64 {
+                let a = rwp.position(node, SimTime::from_secs(s));
+                let b = rwp.position(node, SimTime::from_secs(s + 1));
+                assert!(a.distance(b) <= 20.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn position_freezes_past_horizon() {
+        let rwp = make(3, 21);
+        let late = rwp.position(0, SimTime::from_secs(5000));
+        let later = rwp.position(0, SimTime::from_secs(9000));
+        assert_eq!(late, later);
+    }
+
+    #[test]
+    fn snapshot_matches_individual_queries() {
+        let rwp = make(8, 3);
+        let t = SimTime::from_secs(123);
+        let snap = rwp.snapshot(t);
+        for (i, &p) in snap.iter().enumerate() {
+            assert_eq!(p, rwp.position(i, t));
+        }
+    }
+
+    fn make_group(seed: u64) -> ReferencePointGroup {
+        let field = Field::new(2000.0, 2000.0);
+        let mut rng = SimRng::seed_from_u64(seed);
+        ReferencePointGroup::new(
+            field,
+            4,
+            8,
+            1.0,
+            5.0,
+            10.0,
+            60.0,
+            3.0,
+            SimTime::from_secs(600),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn group_members_stay_near_each_other() {
+        let g = make_group(1);
+        assert_eq!(g.len(), 32);
+        assert_eq!(g.groups(), 4);
+        for t in [0u64, 100, 300, 599] {
+            let t = SimTime::from_secs(t);
+            for node in 0..g.len() {
+                let leader_group = g.group_of(node);
+                // All members of one group lie within spread + jitter +
+                // clamping slack of each other pairwise (2*(60+3) = 126).
+                for other in 0..g.len() {
+                    if g.group_of(other) == leader_group {
+                        let d = g.position(node, t).distance(g.position(other, t));
+                        assert!(d <= 130.0, "group-mates {node},{other} are {d} m apart");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn groups_move_and_stay_in_field() {
+        let g = make_group(2);
+        let field = Field::new(2000.0, 2000.0);
+        let mut moved = 0;
+        for node in 0..g.len() {
+            let a = g.position(node, SimTime::ZERO);
+            let b = g.position(node, SimTime::from_secs(400));
+            assert!(field.contains(a) && field.contains(b));
+            if a.distance(b) > 5.0 {
+                moved += 1;
+            }
+        }
+        assert!(moved > g.len() / 2, "only {moved} nodes moved");
+    }
+
+    #[test]
+    fn group_assignment_is_block_structured() {
+        let g = make_group(3);
+        for node in 0..g.len() {
+            assert_eq!(g.group_of(node), node / 8);
+        }
+    }
+
+    #[test]
+    fn rpgm_is_deterministic() {
+        let a = make_group(4);
+        let b = make_group(4);
+        for node in [0usize, 7, 31] {
+            for t in [0u64, 250, 500] {
+                assert_eq!(
+                    a.position(node, SimTime::from_secs(t)),
+                    b.position(node, SimTime::from_secs(t))
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! Statistics accumulators for Monte-Carlo experiments.
+//!
+//! Every point in the paper's figures is "the average over 100 simulation
+//! runs, each with a different random seed"; [`RunningStats`] accumulates
+//! those runs with Welford's online algorithm and reports means with 95%
+//! confidence half-widths.
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean/variance accumulator (Welford), mergeable across threads.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_sim::stats::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 5.0);
+/// assert!((s.std_dev() - 2.138).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN — a NaN observation always indicates an upstream
+    /// bug and would silently poison every downstream statistic.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN observation pushed into RunningStats");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval.
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_err()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = RunningStats::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// One (x, y ± ci) point of an experiment sweep.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The swept parameter value (m, l, n, q, or ν).
+    pub x: f64,
+    /// Mean of the measured metric over all runs.
+    pub y: f64,
+    /// 95% confidence half-width of `y`.
+    pub ci: f64,
+}
+
+/// A named series of sweep points, e.g. "P(D-NDP)" across m.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Series {
+    /// Display name of the series.
+    pub name: String,
+    /// Points in sweep order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Series {
+    /// Creates an empty series with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point from an accumulator.
+    pub fn push_stats(&mut self, x: f64, stats: &RunningStats) {
+        self.points.push(SweepPoint {
+            x,
+            y: stats.mean(),
+            ci: stats.ci95_half_width(),
+        });
+    }
+
+    /// Appends an exact (analytic) point with zero uncertainty.
+    pub fn push_exact(&mut self, x: f64, y: f64) {
+        self.points.push(SweepPoint { x, y, ci: 0.0 });
+    }
+
+    /// The y values in sweep order.
+    pub fn ys(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.y).collect()
+    }
+}
+
+/// A fixed-range histogram with uniform bins and under/overflow tracking,
+/// for latency distributions and similar per-run detail the mean hides.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_sim::stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 10);
+/// for x in [0.5, 1.5, 1.6, 9.9, 42.0] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.bin_count(1), 2); // the two 1.x values
+/// assert!((h.quantile(0.5) - 1.5).abs() < 1.01);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[min, max)` with `bins` uniform bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `min >= max` or the bounds are not finite.
+    pub fn new(min: f64, max: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(
+            min.is_finite() && max.is_finite() && min < max,
+            "invalid histogram range [{min}, {max})"
+        );
+        Histogram {
+            min,
+            max,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN.
+    pub fn record(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN observation recorded into Histogram");
+        self.total += 1;
+        if x < self.min {
+            self.underflow += 1;
+        } else if x >= self.max {
+            self.overflow += 1;
+        } else {
+            let n_bins = self.bins.len();
+            let idx = ((x - self.min) / (self.max - self.min) * n_bins as f64) as usize;
+            self.bins[idx.min(n_bins - 1)] += 1;
+        }
+    }
+
+    /// Total observations (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range end.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// The `[lo, hi)` bounds of bin `i`.
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len(), "bin {i} out of range");
+        let w = (self.max - self.min) / self.bins.len() as f64;
+        (self.min + i as f64 * w, self.min + (i + 1) as f64 * w)
+    }
+
+    /// Approximate quantile (`0.0 ..= 1.0`): the midpoint of the bin where
+    /// the cumulative count crosses `q`. Underflow maps to `min`,
+    /// overflow to `max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]` or nothing was recorded.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        assert!(self.total > 0, "quantile of an empty histogram");
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut cum = self.underflow;
+        if cum >= target {
+            return self.min;
+        }
+        for (i, &c) in self.bins.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                let (lo, hi) = self.bin_bounds(i);
+                return (lo + hi) / 2.0;
+            }
+        }
+        self.max
+    }
+}
+
+/// Renders aligned-column text tables for terminal output of experiments.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_sim::stats::TextTable;
+///
+/// let mut t = TextTable::new(vec!["m".into(), "P".into()]);
+/// t.row(vec!["100".into(), "0.93".into()]);
+/// let s = t.render();
+/// assert!(s.contains("m") && s.contains("0.93"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        TextTable {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        while cells.len() < self.header.len() {
+            cells.push(String::new());
+        }
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (no quoting; cells must not contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data = [1.5, 2.5, 3.5, 10.0, -4.0, 0.0, 7.25];
+        let s: RunningStats = data.iter().copied().collect();
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+        assert_eq!(s.count(), 7);
+        assert_eq!(s.min(), -4.0);
+        assert_eq!(s.max(), 10.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let a_data = [1.0, 2.0, 3.0];
+        let b_data = [10.0, 20.0, 30.0, 40.0];
+        let mut a: RunningStats = a_data.iter().copied().collect();
+        let b: RunningStats = b_data.iter().copied().collect();
+        a.merge(&b);
+        let all: RunningStats = a_data.iter().chain(&b_data).copied().collect();
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.count(), all.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: RunningStats = [5.0, 6.0].iter().copied().collect();
+        let before = (a.mean(), a.variance(), a.count());
+        a.merge(&RunningStats::new());
+        assert_eq!((a.mean(), a.variance(), a.count()), before);
+
+        let mut e = RunningStats::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 2);
+        assert_eq!(e.mean(), a.mean());
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let small: RunningStats = (0..10).map(|i| f64::from(i % 3)).collect();
+        let large: RunningStats = (0..1000).map(|i| f64::from(i % 3)).collect();
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN observation")]
+    fn nan_rejected() {
+        RunningStats::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn series_accumulates_points() {
+        let mut s = Series::new("P(D-NDP)");
+        let stats: RunningStats = [0.7, 0.8].iter().copied().collect();
+        s.push_stats(100.0, &stats);
+        s.push_exact(120.0, 0.9);
+        assert_eq!(s.points.len(), 2);
+        assert!((s.points[0].y - 0.75).abs() < 1e-12);
+        assert_eq!(s.points[1].ci, 0.0);
+        assert_eq!(s.ys(), vec![0.75, 0.9]);
+    }
+
+    #[test]
+    fn histogram_bins_and_flows() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for x in 0..100 {
+            h.record(f64::from(x));
+        }
+        h.record(-5.0);
+        h.record(1000.0);
+        assert_eq!(h.count(), 102);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        for i in 0..10 {
+            assert_eq!(h.bin_count(i), 10, "bin {i}");
+            let (lo, hi) = h.bin_bounds(i);
+            assert_eq!(lo, i as f64 * 10.0);
+            assert_eq!(hi, (i + 1) as f64 * 10.0);
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bounded() {
+        let mut h = Histogram::new(0.0, 10.0, 100);
+        for i in 0..1000 {
+            h.record(f64::from(i % 10));
+        }
+        let q10 = h.quantile(0.10);
+        let q50 = h.quantile(0.50);
+        let q90 = h.quantile(0.90);
+        assert!(q10 <= q50 && q50 <= q90);
+        assert!((q50 - 4.5).abs() < 1.0, "median {q50}");
+        assert_eq!(h.quantile(0.0), h.quantile(1e-9));
+    }
+
+    #[test]
+    fn histogram_boundary_values() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(0.0); // first bin
+        h.record(1.0); // overflow (range is half-open)
+        h.record(0.999_999); // last bin
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(3), 1);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram")]
+    fn empty_quantile_panics() {
+        Histogram::new(0.0, 1.0, 2).quantile(0.5);
+    }
+
+    #[test]
+    fn table_renders_and_exports() {
+        let mut t = TextTable::new(vec!["a".into(), "bbbb".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into()]);
+        let text = t.render();
+        assert!(text.lines().count() == 4);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,bbbb\n1,2\n333,\n");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn merge_is_order_insensitive(
+            xs in proptest::collection::vec(-1e6f64..1e6, 1..50),
+            ys in proptest::collection::vec(-1e6f64..1e6, 1..50),
+        ) {
+            let a: RunningStats = xs.iter().copied().collect();
+            let b: RunningStats = ys.iter().copied().collect();
+            let mut ab = a;
+            ab.merge(&b);
+            let mut ba = b;
+            ba.merge(&a);
+            prop_assert!((ab.mean() - ba.mean()).abs() < 1e-6);
+            prop_assert!((ab.variance() - ba.variance()).abs() < 1e-3);
+            prop_assert_eq!(ab.count(), ba.count());
+        }
+
+        #[test]
+        fn mean_is_bounded_by_min_max(xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+            let s: RunningStats = xs.iter().copied().collect();
+            prop_assert!(s.mean() >= s.min() - 1e-9);
+            prop_assert!(s.mean() <= s.max() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Umbrella crate for the JR-SND reproduction: one `use jr_snd::...`
+//! surface over all workspace crates.
+//!
+//! The reproduction of *"JR-SND: Jamming-Resilient Secure Neighbor
+//! Discovery in Mobile Ad Hoc Networks"* (ICDCS 2011) is split into
+//! focused crates; this crate re-exports them for applications and hosts
+//! the runnable examples plus the cross-crate integration tests:
+//!
+//! * [`core`] (`jrsnd`) — the paper's contribution: pre-distribution,
+//!   D-NDP, M-NDP, DoS defense, analysis, Monte-Carlo evaluation;
+//! * [`dsss`] — the chip-level spread-spectrum physical layer;
+//! * [`ecc`] — Reed–Solomon and the (1+μ)-expansion message coding;
+//! * [`crypto`] — SHA-256/HMAC/PRF and the simulated identity-based
+//!   cryptography;
+//! * [`sim`] — the discrete-event MANET simulation substrate;
+//! * [`baselines`] — the schemes the paper argues against.
+//!
+//! # Examples
+//!
+//! ```
+//! use jr_snd::core::montecarlo::run_many;
+//! use jr_snd::core::network::ExperimentConfig;
+//!
+//! let mut config = ExperimentConfig::paper_default();
+//! config.params.n = 200;          // shrunk for doc-test speed
+//! config.params.field_w = 1581.0; // same density as the paper
+//! config.params.field_h = 1581.0;
+//! config.params.q = 2;
+//! let agg = run_many(&config, 3, 1);
+//! assert!(agg.p_jrsnd.mean() > agg.p_dndp.mean() - 1e-9);
+//! ```
+//!
+//! See `examples/` for runnable scenarios (`cargo run --example
+//! quickstart`) and `crates/bench/src/bin/repro.rs` for the harness that
+//! regenerates every figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use jrsnd as core;
+pub use jrsnd_baselines as baselines;
+pub use jrsnd_crypto as crypto;
+pub use jrsnd_dsss as dsss;
+pub use jrsnd_ecc as ecc;
+pub use jrsnd_sim as sim;

@@ -1,0 +1,83 @@
+//! Cross-crate baseline claims (Sections I/II quantified): the intuitive
+//! alternatives each fail on exactly the axis the paper names, and JR-SND
+//! holds the middle ground on all of them.
+
+use jr_snd::baselines::{common_code, pairwise, ufh};
+use jr_snd::core::analysis::{dndp, mndp};
+use jr_snd::core::jammer::JammerKind;
+use jr_snd::core::params::Params;
+
+#[test]
+fn common_code_is_a_single_point_of_failure() {
+    let p = Params::table1();
+    assert_eq!(common_code::p_discovery(&p, 0, JammerKind::Reactive), 1.0);
+    // One compromised node anywhere destroys discovery everywhere.
+    assert_eq!(common_code::p_discovery(&p, 1, JammerKind::Reactive), 0.0);
+    // JR-SND under the same single compromise barely notices.
+    let mut p1 = p.clone();
+    p1.q = 1;
+    assert!(dndp::p_dndp_lower(&p1) > 0.8);
+}
+
+#[test]
+fn pairwise_codes_trade_security_for_unusable_latency() {
+    let p = Params::table1();
+    assert_eq!(pairwise::p_discovery(&p, 100), 1.0, "compromise-proof");
+    let t_pairwise = pairwise::discovery_latency(&p);
+    let t_jrsnd = dndp::t_dndp(&p);
+    assert!(
+        t_pairwise > 100.0 * t_jrsnd,
+        "pairwise {t_pairwise}s vs JR-SND {t_jrsnd}s"
+    );
+    // Storage: n-1 codes per node vs m.
+    assert!(pairwise::codes_per_node(&p) >= 10 * p.m);
+}
+
+#[test]
+fn ufh_is_slow_and_dos_exposed() {
+    let cfg = ufh::UfhConfig::strasser_like();
+    let p = Params::table1();
+    // Latency: a Strasser-style establishment takes far longer than the
+    // "few seconds" MANET neighbor discovery allows.
+    assert!(cfg.expected_latency() > 5.0 * mndp::t_jrsnd(&p));
+    // DoS: the public strategy's verification load is linear forever.
+    let lo = ufh::dos_verifications(p.n, 1_000);
+    let hi = ufh::dos_verifications(p.n, 1_000_000);
+    assert_eq!(hi, 1000 * lo);
+}
+
+#[test]
+fn ufh_simulation_tracks_coupon_collector() {
+    use jr_snd::sim::rng::SimRng;
+    use rand::SeedableRng;
+    let cfg = ufh::UfhConfig {
+        channels: 30,
+        jammed_per_slot: 3,
+        fragments: 12,
+        slot_secs: 1e-3,
+    };
+    let mut rng = SimRng::seed_from_u64(4);
+    let stats = ufh::measured_latency(&cfg, 200, &mut rng);
+    let expect = cfg.expected_latency();
+    assert!(
+        (stats.mean() - expect).abs() / expect < 0.15,
+        "measured {} vs {expect}",
+        stats.mean()
+    );
+}
+
+#[test]
+fn jrsnd_holds_all_three_axes_at_once() {
+    // Resilience, latency, and bounded DoS simultaneously — the claim the
+    // whole paper rests on.
+    let p = Params::table1();
+    let pd = dndp::p_dndp_lower(&p);
+    let pm = mndp::p_mndp_two_hop(pd, p.expected_degree());
+    assert!(mndp::p_jrsnd(pd, pm) > 0.99, "resilient discovery");
+    assert!(mndp::t_jrsnd(&p) < 2.0, "within the mobility deadline");
+    let cap = jr_snd::core::revocation::verification_cap_per_code(&p);
+    assert!(
+        cap <= (p.l as u64) * (u64::from(p.gamma) + 1),
+        "bounded DoS"
+    );
+}

@@ -1,0 +1,149 @@
+//! Reproduces the paper's Fig. 1 M-NDP walkthrough: nodes A–H, where A
+//! and B are physical neighbors that failed D-NDP, C is their common
+//! logical neighbor, and G/H sit two logical hops away but outside A's
+//! radio range (the false-positive overhead the GPS filter removes).
+
+use jr_snd::core::mndp::{initiate, GpsFilter};
+use jr_snd::core::node::{DiscoveryKind, Node};
+use jr_snd::crypto::ibc::{Authority, NodeId};
+use jr_snd::crypto::nonce::Nonce;
+use jr_snd::dsss::code::CodeId;
+use jr_snd::sim::geom::{Field, Point};
+use jr_snd::sim::topology::physical_graph;
+
+const A: usize = 0;
+const B: usize = 1;
+const C: usize = 2;
+const D: usize = 3;
+const E: usize = 4;
+const F: usize = 5;
+const G: usize = 6;
+const H: usize = 7;
+
+fn positions() -> Vec<Point> {
+    vec![
+        Point::new(500.0, 500.0), // A
+        Point::new(700.0, 500.0), // B: 200 m from A (in range)
+        Point::new(650.0, 650.0), // C: common neighbor of A and B
+        Point::new(350.0, 650.0), // D
+        Point::new(350.0, 350.0), // E
+        Point::new(650.0, 350.0), // F
+        Point::new(100.0, 250.0), // G: near E, far from A
+        Point::new(900.0, 220.0), // H: near F, far from A
+    ]
+}
+
+/// The jamming-resilient (logical) links of the figure: A's neighborhood
+/// plus the C–B link and the E–G / F–H spurs.
+fn logical_edges() -> Vec<(usize, usize)> {
+    vec![(A, C), (A, D), (A, E), (A, F), (C, B), (E, G), (F, H)]
+}
+
+fn build_nodes() -> Vec<Node> {
+    let authority = Authority::from_seed(b"fig1");
+    let mut nodes: Vec<Node> = (0..8)
+        .map(|i| {
+            Node::new(
+                i,
+                vec![CodeId(i as u32)],
+                authority.issue(NodeId(i as u32)),
+                authority.verifier(),
+            )
+        })
+        .collect();
+    for (u, v) in logical_edges() {
+        let (vid, uid) = (NodeId(v as u32), NodeId(u as u32));
+        nodes[u].add_logical(v, vid, DiscoveryKind::Direct);
+        nodes[v].add_logical(u, uid, DiscoveryKind::Direct);
+    }
+    nodes
+}
+
+#[test]
+fn scenario_geometry_matches_figure() {
+    let pos = positions();
+    let range = 300.0;
+    // A-B are physical neighbors; G and H are not in A's range.
+    assert!(pos[A].distance(pos[B]) <= range);
+    assert!(pos[A].distance(pos[G]) > range);
+    assert!(pos[A].distance(pos[H]) > range);
+    // Every logical link is physically feasible.
+    for (u, v) in logical_edges() {
+        assert!(
+            pos[u].distance(pos[v]) <= range,
+            "logical edge ({u},{v}) spans {} m",
+            pos[u].distance(pos[v])
+        );
+    }
+}
+
+#[test]
+fn a_discovers_b_through_common_neighbor_c() {
+    let pos = positions();
+    let physical = physical_graph(Field::new(1000.0, 1000.0), &pos, 300.0);
+    let mut nodes = build_nodes();
+    assert!(!nodes[A].is_logical(B), "A and B start undiscovered");
+
+    let stats = initiate(&mut nodes, &physical, None, A, Nonce::from_value(1), 2);
+
+    // The M-NDP response path A -> C -> B closes: both adopt the link.
+    assert!(
+        stats
+            .discovered
+            .iter()
+            .any(|&(s, p, hops)| s == A && p == B && hops == 2),
+        "discovered: {:?}",
+        stats.discovered
+    );
+    assert!(nodes[A].is_logical(B) && nodes[B].is_logical(A));
+    // G and H answered (they cannot know they are out of range) but their
+    // HELLOs never reach A: exactly the paper's false-positive overhead.
+    assert_eq!(stats.wasted_responses, 2, "G and H each waste one response");
+}
+
+#[test]
+fn gps_filter_eliminates_wasted_responses() {
+    let pos = positions();
+    let physical = physical_graph(Field::new(1000.0, 1000.0), &pos, 300.0);
+    let mut nodes = build_nodes();
+    let gps = GpsFilter {
+        positions: &pos,
+        range: 300.0,
+    };
+    let stats = initiate(&mut nodes, &physical, Some(gps), A, Nonce::from_value(2), 2);
+    assert!(stats.discovered.iter().any(|&(s, p, _)| s == A && p == B));
+    assert_eq!(stats.wasted_responses, 0, "position check stops G and H");
+}
+
+#[test]
+fn hop_limit_one_cannot_reach_b() {
+    let pos = positions();
+    let physical = physical_graph(Field::new(1000.0, 1000.0), &pos, 300.0);
+    let mut nodes = build_nodes();
+    let stats = initiate(&mut nodes, &physical, None, A, Nonce::from_value(3), 1);
+    assert!(stats.discovered.is_empty(), "B is two logical hops away");
+    assert!(!nodes[A].is_logical(B));
+}
+
+#[test]
+fn verification_work_lands_on_the_relays() {
+    let pos = positions();
+    let physical = physical_graph(Field::new(1000.0, 1000.0), &pos, 300.0);
+    let mut nodes = build_nodes();
+    initiate(&mut nodes, &physical, None, A, Nonce::from_value(4), 2);
+    // Every direct neighbor of A verified the request; B, G, H verified
+    // two-signature chains; relays verified the responses too.
+    for idx in [C, D, E, F] {
+        assert!(
+            nodes[idx].verifications() >= 1,
+            "relay {idx} verified nothing"
+        );
+    }
+    for idx in [B, G, H] {
+        assert!(
+            nodes[idx].verifications() >= 2,
+            "responder {idx} verified the chain"
+        );
+    }
+    assert!(nodes[A].verifications() >= 2, "A verifies response chains");
+}
