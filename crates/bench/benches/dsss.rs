@@ -6,7 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use jrsnd_dsss::chip::ChipSeq;
 use jrsnd_dsss::code::SpreadCode;
 use jrsnd_dsss::spread::{correlate_window, despread_levels, spread};
-use jrsnd_dsss::sync::scan;
+use jrsnd_dsss::sync::{reference as sync_reference, scan, scan_all};
 use rand::{Rng, SeedableRng};
 
 fn naive_correlate(a: &[bool], b: &[bool]) -> f64 {
@@ -70,6 +70,65 @@ fn bench_sliding_scan(c: &mut Criterion) {
     group.finish();
 }
 
+/// Builds a receiver buffer of `buf_len` chips holding two real frames
+/// amid sparse noise — representative of one buffering window: the scan
+/// pays full-bank correlations over the dead air and locks onto the frames.
+fn scan_all_buffer(buf_len: usize, codes: &[SpreadCode]) -> Vec<i32> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let mut samples: Vec<i32> = (0..buf_len)
+        .map(|_| {
+            if rng.gen_bool(0.02) {
+                rng.gen_range(-1..=1)
+            } else {
+                0
+            }
+        })
+        .collect();
+    let msg: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
+    for (slot, code) in [(buf_len / 4, 0usize), (3 * buf_len / 4, 1)] {
+        let levels = spread(&msg, &codes[code]).to_levels();
+        if slot + levels.len() <= buf_len {
+            for (dst, src) in samples[slot..slot + levels.len()].iter_mut().zip(levels) {
+                *dst += src;
+            }
+        }
+    }
+    samples
+}
+
+/// The tentpole benchmark: whole-buffer `scan_all` throughput in chips/sec
+/// for the batched bit-parallel kernel vs the chip-at-a-time scalar
+/// reference, across bank sizes `m` and buffer lengths.
+fn bench_scan_all_throughput(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let n = 512usize;
+    let codes: Vec<SpreadCode> = (0..30).map(|_| SpreadCode::random(n, &mut rng)).collect();
+    let mut group = c.benchmark_group("scan_all");
+    for m in [8usize, 30] {
+        let refs: Vec<&SpreadCode> = codes[..m].iter().collect();
+        for buf_len in [8192usize, 32768] {
+            let samples = scan_all_buffer(buf_len, &codes);
+            group.throughput(Throughput::Elements(buf_len as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("batched_m{m}"), buf_len),
+                &buf_len,
+                |b, _| b.iter(|| black_box(scan_all(&samples, &refs, 8, 0.15))),
+            );
+        }
+        // Scalar baseline at the short buffer only — it is the slow side of
+        // the comparison and the ratio is what matters.
+        let buf_len = 8192usize;
+        let samples = scan_all_buffer(buf_len, &codes);
+        group.throughput(Throughput::Elements(buf_len as u64));
+        group.bench_with_input(
+            BenchmarkId::new(format!("scalar_m{m}"), buf_len),
+            &buf_len,
+            |b, _| b.iter(|| black_box(sync_reference::scan_all(&samples, &refs, 8, 0.15))),
+        );
+    }
+    group.finish();
+}
+
 fn bench_gold_codes(c: &mut Criterion) {
     use jrsnd_dsss::gold::GoldFamily;
     let mut group = c.benchmark_group("gold");
@@ -92,6 +151,7 @@ criterion_group!(
     bench_correlation,
     bench_spread_despread,
     bench_sliding_scan,
+    bench_scan_all_throughput,
     bench_gold_codes
 );
 criterion_main!(benches);

@@ -15,8 +15,9 @@ use crate::params::Params;
 use jrsnd_crypto::ibc::{Authority, NodeId};
 use jrsnd_dsss::channel::ChipChannel;
 use jrsnd_dsss::code::{CodeId, SpreadCode};
+use jrsnd_dsss::correlate::MultiCorrelator;
 use jrsnd_dsss::spread::spread;
-use jrsnd_dsss::sync::{decode_frame, scan};
+use jrsnd_dsss::sync::{decode_frame, scan_from};
 use jrsnd_ecc::expand::ExpansionCode;
 use jrsnd_sim::rng::SimRng;
 use rand::{Rng, SeedableRng};
@@ -192,6 +193,10 @@ pub fn run_handshake(
     }
     let buffer = channel.render(0, msg_chips * a_codes.len());
     let b_refs: Vec<&SpreadCode> = b_codes.iter().collect();
+    // One code bank and one prefix-sum pass over the buffer serve every
+    // resumed scan below (the batched kernel in jrsnd_dsss::correlate).
+    let bank = MultiCorrelator::new(&b_refs);
+    let mut scanner = bank.scanner(&buffer);
     // The receiver keeps scanning past failed candidates — a noise-induced
     // sync or an undecodable (jammed) frame must not stop it from finding
     // a later clean copy in the same buffer.
@@ -199,11 +204,11 @@ pub fn run_handshake(
     let mut confirm_frame: Option<Vec<bool>> = None;
     let mut pos = 0usize;
     while pos + n <= buffer.len() {
-        let Some(h) = scan(&buffer[pos..], &b_refs, tau) else {
+        let Some(h) = scan_from(&mut scanner, pos, tau) else {
             break;
         };
         scan_correlations += h.correlations_computed;
-        let abs_offset = pos + h.offset;
+        let abs_offset = h.offset;
         let frame = decode_frame(
             &buffer,
             abs_offset,

@@ -1,0 +1,478 @@
+//! Batched correlation of one sample buffer against a whole code bank.
+//!
+//! Section V-B makes the receiver's buffer processing the cost center of
+//! JR-SND: every buffered chip offset is correlated against **all** `m`
+//! candidate codes in ℂ_B, and the per-correlation cost ρ drives the
+//! processing/buffering gap λ = ρNmR of the latency analysis. This module
+//! is the fast path for that computation.
+//!
+//! The trick: chips are ±1 and already bit-packed ([`ChipSeq`]), so with
+//! `P = Σ_{cᵢ=+1} sᵢ` (the positive-chip partial sum) and `T = Σ sᵢ` (the
+//! window total),
+//!
+//! ```text
+//! Σ sᵢ·cᵢ = 2·P − T.
+//! ```
+//!
+//! `T` is independent of the code, so one prefix-sum pass over the buffer
+//! serves every `(offset, code)` pair — the sliding window never re-reads
+//! samples to re-total them. `P` is a branch-free masked sum (`s & e` per
+//! lane with widening `i64` accumulation, no per-chip `chip(i)` calls) over
+//! mask rows expanded once from the bit-packed code words, and
+//! [`MultiCorrelator`] evaluates all `m` codes per window so the loaded
+//! window is reused `m` times before sliding on.
+//!
+//! The scalar one-chip-at-a-time implementation survives as the oracle in
+//! [`crate::spread::reference`]; proptests assert the two agree bit-for-bit.
+
+use crate::code::SpreadCode;
+
+/// A bank of equal-length candidate codes, laid out for batched window
+/// correlation.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_dsss::code::SpreadCode;
+/// use jrsnd_dsss::correlate::MultiCorrelator;
+/// use jrsnd_dsss::spread::spread;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let codes: Vec<SpreadCode> = (0..4).map(|_| SpreadCode::random(256, &mut rng)).collect();
+/// let refs: Vec<&SpreadCode> = codes.iter().collect();
+/// let bank = MultiCorrelator::new(&refs);
+///
+/// let samples = spread(&[true], &codes[2]).to_levels();
+/// let mut scanner = bank.scanner(&samples);
+/// let mut corr = [0.0; 4];
+/// scanner.correlate_all(0, &mut corr);
+/// assert_eq!(corr[2], 1.0); // the matching code correlates perfectly
+/// assert!(corr[0].abs() < 0.15 && corr[1].abs() < 0.15 && corr[3].abs() < 0.15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiCorrelator<'a> {
+    codes: Vec<&'a SpreadCode>,
+    n: usize,
+    /// Positive-chip masks expanded one `i32` lane per chip (`-1` where the
+    /// chip is +1, `0` where it is −1), one contiguous row per code: the
+    /// partial sum is a branch-free stream of `s & e` with widening `i64`
+    /// accumulation, which autovectorizes. Expanding costs `4·N` bytes per
+    /// code once per bank — repaid on the first scanned offset.
+    pos_masks: Vec<i32>,
+}
+
+impl<'a> MultiCorrelator<'a> {
+    /// Builds a bank over `codes`.
+    ///
+    /// An empty bank is allowed (scans over it find nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the codes do not share one chip length.
+    pub fn new(codes: &[&'a SpreadCode]) -> Self {
+        let n = codes.first().map_or(0, |c| c.len());
+        assert!(
+            codes.iter().all(|c| c.len() == n),
+            "all candidate codes must share one chip length"
+        );
+        let m = codes.len();
+        let mut pos_masks = vec![0i32; n * m];
+        for (c, code) in codes.iter().enumerate() {
+            let row = &mut pos_masks[c * n..(c + 1) * n];
+            for (w, &word) in code.chips().words().iter().enumerate() {
+                for (k, lane) in row[w * 64..].iter_mut().take(64).enumerate() {
+                    *lane = -(((word >> k) & 1) as i32);
+                }
+            }
+        }
+        MultiCorrelator {
+            codes: codes.to_vec(),
+            n,
+            pos_masks,
+        }
+    }
+
+    /// The candidate codes, in bank order.
+    pub fn codes(&self) -> &[&'a SpreadCode] {
+        &self.codes
+    }
+
+    /// Number of codes `m`.
+    pub fn num_codes(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the bank holds no codes.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Chip length `N` shared by every code (0 for an empty bank).
+    pub fn code_len(&self) -> usize {
+        self.n
+    }
+
+    /// Prepares `samples` for repeated window correlation: one prefix-sum
+    /// pass that every subsequent offset reuses.
+    pub fn scanner<'s>(&'s self, samples: &'s [i32]) -> BankScanner<'s, 'a> {
+        let mut prefix = Vec::with_capacity(samples.len() + 1);
+        let mut acc: i64 = 0;
+        prefix.push(0);
+        for &s in samples {
+            acc += i64::from(s);
+            prefix.push(acc);
+        }
+        BankScanner {
+            bank: self,
+            samples,
+            prefix,
+            pos_sums: vec![0; self.codes.len()],
+        }
+    }
+
+    /// Positive-chip partial sums of one window against every code. The
+    /// window (a few KB) stays hot in L1 while each code's mask row streams
+    /// through once.
+    fn pos_sums_into(&self, window: &[i32], out: &mut [i64]) {
+        debug_assert_eq!(window.len(), self.n);
+        debug_assert_eq!(out.len(), self.codes.len());
+        for (c, acc) in out.iter_mut().enumerate() {
+            let row = &self.pos_masks[c * self.n..(c + 1) * self.n];
+            *acc = window
+                .iter()
+                .zip(row)
+                .map(|(&s, &e)| i64::from(s & e))
+                .sum();
+        }
+    }
+}
+
+/// A buffer prepared for sliding-window correlation against a bank: holds
+/// the shared prefix sums and per-code scratch.
+#[derive(Debug)]
+pub struct BankScanner<'s, 'a> {
+    bank: &'s MultiCorrelator<'a>,
+    samples: &'s [i32],
+    /// `prefix[k] = Σ_{i<k} samples[i]` — window totals in O(1) per offset.
+    prefix: Vec<i64>,
+    pos_sums: Vec<i64>,
+}
+
+impl BankScanner<'_, '_> {
+    /// The underlying bank.
+    pub fn bank(&self) -> &MultiCorrelator<'_> {
+        self.bank
+    }
+
+    /// The buffered samples.
+    pub fn samples(&self) -> &[i32] {
+        self.samples
+    }
+
+    /// The last chip offset a full window fits at, if any.
+    pub fn last_offset(&self) -> Option<usize> {
+        if self.bank.n == 0 || self.samples.len() < self.bank.n {
+            None
+        } else {
+            Some(self.samples.len() - self.bank.n)
+        }
+    }
+
+    /// The window total `Σ sᵢ` at `offset` — shared by every code.
+    #[inline]
+    pub fn window_total(&self, offset: usize) -> i64 {
+        self.prefix[offset + self.bank.n] - self.prefix[offset]
+    }
+
+    /// Normalised correlations of the window at `offset` against **all**
+    /// codes in one pass, written to `out` in bank order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not fit or `out.len() != m`.
+    pub fn correlate_all(&mut self, offset: usize, out: &mut [f64]) {
+        let n = self.bank.n;
+        assert!(n > 0, "cannot correlate against an empty bank");
+        assert_eq!(out.len(), self.bank.codes.len(), "one output slot per code");
+        let window = &self.samples[offset..offset + n];
+        let total = self.window_total(offset);
+        self.bank.pos_sums_into(window, &mut self.pos_sums);
+        for (o, &p) in out.iter_mut().zip(&self.pos_sums) {
+            *o = (2 * p - total) as f64 / n as f64;
+        }
+    }
+
+    /// Correlations for `count` consecutive offsets starting at `start`,
+    /// written to `out[i·m + c]` (offset-major, bank order within each
+    /// offset) — identical values to `count` calls of
+    /// [`BankScanner::correlate_all`].
+    ///
+    /// This is the throughput shape of the kernel: the loops are tiled
+    /// code-outer/offset-inner, so each code's mask row is loaded once per
+    /// block while the `N + count` samples the overlapping windows span
+    /// stay hot in L1, instead of re-streaming `m` mask rows at every
+    /// offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank is empty, the last window does not fit, or
+    /// `out.len() < count * m`.
+    pub fn correlate_block(&mut self, start: usize, count: usize, out: &mut [f64]) {
+        let n = self.bank.n;
+        let m = self.bank.codes.len();
+        assert!(n > 0, "cannot correlate against an empty bank");
+        assert!(
+            start + count.saturating_sub(1) + n <= self.samples.len(),
+            "offset block exceeds the buffer"
+        );
+        assert!(out.len() >= count * m, "one output slot per (offset, code)");
+        for c in 0..m {
+            let row = &self.bank.pos_masks[c * n..(c + 1) * n];
+            for i in 0..count {
+                let o = start + i;
+                let window = &self.samples[o..o + n];
+                let p: i64 = window
+                    .iter()
+                    .zip(row)
+                    .map(|(&s, &e)| i64::from(s & e))
+                    .sum();
+                out[i * m + c] = (2 * p - self.window_total(o)) as f64 / n as f64;
+            }
+        }
+    }
+
+    /// Normalised correlation of the window at `offset` against the single
+    /// code at `code_index`, reusing the shared prefix sums.
+    pub fn correlate_one(&self, offset: usize, code_index: usize) -> f64 {
+        let n = self.bank.n;
+        let window = &self.samples[offset..offset + n];
+        let total = self.window_total(offset);
+        let p = self.bank.codes[code_index].chips().masked_sum(window);
+        (2 * p - total) as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spread::{reference, spread};
+    use rand::{Rng, SeedableRng};
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn matches_scalar_reference_on_random_buffers() {
+        let mut r = rng(1);
+        for n in [64usize, 100, 512] {
+            let codes: Vec<SpreadCode> = (0..7).map(|_| SpreadCode::random(n, &mut r)).collect();
+            let refs: Vec<&SpreadCode> = codes.iter().collect();
+            let bank = MultiCorrelator::new(&refs);
+            let samples: Vec<i32> = (0..3 * n).map(|_| r.gen_range(-5..=5)).collect();
+            let mut scanner = bank.scanner(&samples);
+            let mut out = vec![0.0; codes.len()];
+            for offset in [0usize, 1, 63, 64, 65, n - 1, 2 * n] {
+                scanner.correlate_all(offset, &mut out);
+                for (ci, code) in codes.iter().enumerate() {
+                    let expected = reference::correlate_window(&samples[offset..offset + n], code);
+                    assert_eq!(
+                        out[ci].to_bits(),
+                        expected.to_bits(),
+                        "n={n} offset={offset} code={ci}"
+                    );
+                    let one = scanner.correlate_one(offset, ci);
+                    assert_eq!(one.to_bits(), expected.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_hit_is_exactly_one() {
+        let mut r = rng(2);
+        let codes: Vec<SpreadCode> = (0..5).map(|_| SpreadCode::random(128, &mut r)).collect();
+        let refs: Vec<&SpreadCode> = codes.iter().collect();
+        let bank = MultiCorrelator::new(&refs);
+        let samples = spread(&[true, false], &codes[3]).to_levels();
+        let mut scanner = bank.scanner(&samples);
+        let mut out = [0.0; 5];
+        scanner.correlate_all(0, &mut out);
+        assert_eq!(out[3], 1.0);
+        scanner.correlate_all(128, &mut out);
+        assert_eq!(out[3], -1.0, "second bit is a 0: negated code");
+    }
+
+    #[test]
+    fn window_totals_come_from_prefix_sums() {
+        let mut r = rng(3);
+        let code = SpreadCode::random(32, &mut r);
+        let bank = MultiCorrelator::new(&[&code]);
+        let samples: Vec<i32> = (0..100).map(|_| r.gen_range(-100..=100)).collect();
+        let scanner = bank.scanner(&samples);
+        for offset in 0..=68 {
+            let naive: i64 = samples[offset..offset + 32]
+                .iter()
+                .map(|&s| i64::from(s))
+                .sum();
+            assert_eq!(scanner.window_total(offset), naive);
+        }
+        assert_eq!(scanner.last_offset(), Some(68));
+    }
+
+    #[test]
+    fn block_matches_per_offset() {
+        let mut r = rng(6);
+        let codes: Vec<SpreadCode> = (0..3).map(|_| SpreadCode::random(96, &mut r)).collect();
+        let refs: Vec<&SpreadCode> = codes.iter().collect();
+        let bank = MultiCorrelator::new(&refs);
+        let samples: Vec<i32> = (0..400).map(|_| r.gen_range(-50..=50)).collect();
+        let mut scanner = bank.scanner(&samples);
+        let count = 400 - 96 + 1;
+        let mut block = vec![0.0; count * 3];
+        scanner.correlate_block(0, count, &mut block);
+        let mut per_offset = [0.0; 3];
+        for o in 0..count {
+            scanner.correlate_all(o, &mut per_offset);
+            for c in 0..3 {
+                assert_eq!(
+                    block[o * 3 + c].to_bits(),
+                    per_offset[c].to_bits(),
+                    "offset {o} code {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_bank_is_inert() {
+        let bank = MultiCorrelator::new(&[]);
+        assert!(bank.is_empty());
+        assert_eq!(bank.code_len(), 0);
+        let samples = [1i32, 2, 3];
+        let scanner = bank.scanner(&samples);
+        assert_eq!(scanner.last_offset(), None);
+    }
+
+    #[test]
+    fn extreme_amplitudes_do_not_overflow() {
+        // A jammed buffer can carry amplitudes near the i32 limits; the
+        // kernel must stay exact (accumulation is i64).
+        let mut r = rng(4);
+        let code = SpreadCode::random(512, &mut r);
+        let bank = MultiCorrelator::new(&[&code]);
+        let samples: Vec<i32> = (0..512)
+            .map(|i| if i % 2 == 0 { i32::MAX } else { i32::MIN })
+            .collect();
+        let mut scanner = bank.scanner(&samples);
+        let mut out = [0.0];
+        scanner.correlate_all(0, &mut out);
+        let expected = reference::correlate_window(&samples, &code);
+        assert_eq!(out[0].to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "one chip length")]
+    fn mixed_lengths_rejected() {
+        let mut r = rng(5);
+        let a = SpreadCode::random(64, &mut r);
+        let b = SpreadCode::random(128, &mut r);
+        MultiCorrelator::new(&[&a, &b]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::spread::reference;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    /// A sample amplitude spanning benign levels and jammed buffers near
+    /// the `i32` limits — the kernels must stay exact everywhere.
+    fn amplitude(r: &mut rand::rngs::StdRng) -> i32 {
+        match r.gen_range(0..3) {
+            0 => r.gen_range(-8..=8),
+            1 => r.gen_range(i32::MIN..=i32::MIN + 16),
+            _ => r.gen_range(i32::MAX - 16..=i32::MAX),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn batched_kernel_matches_scalar_reference(
+            code_seed in 0u64..10_000,
+            m in 1usize..6,
+            n in 1usize..200,
+            extra in 0usize..150,
+            samples_seed in 0u64..10_000,
+        ) {
+            let mut cr = rand::rngs::StdRng::seed_from_u64(code_seed);
+            let codes: Vec<SpreadCode> =
+                (0..m).map(|_| SpreadCode::random(n, &mut cr)).collect();
+            let refs: Vec<&SpreadCode> = codes.iter().collect();
+            let bank = MultiCorrelator::new(&refs);
+
+            let mut sr = rand::rngs::StdRng::seed_from_u64(samples_seed);
+            let samples: Vec<i32> =
+                (0..n + extra).map(|_| amplitude(&mut sr)).collect();
+
+            let mut scanner = bank.scanner(&samples);
+            let mut out = vec![0.0; m];
+            for offset in 0..=extra {
+                scanner.correlate_all(offset, &mut out);
+                let window = &samples[offset..offset + n];
+                for (ci, code) in codes.iter().enumerate() {
+                    let expected = reference::correlate_window(window, code);
+                    prop_assert_eq!(
+                        out[ci].to_bits(),
+                        expected.to_bits(),
+                        "correlate_all diverged at offset {} code {}",
+                        offset,
+                        ci
+                    );
+                    prop_assert_eq!(
+                        scanner.correlate_one(offset, ci).to_bits(),
+                        expected.to_bits(),
+                        "correlate_one diverged at offset {} code {}",
+                        offset,
+                        ci
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn dot_levels_matches_chip_at_a_time(
+            code_seed in 0u64..10_000,
+            n in 1usize..300,
+            samples_seed in 0u64..10_000,
+        ) {
+            let mut cr = rand::rngs::StdRng::seed_from_u64(code_seed);
+            let code = SpreadCode::random(n, &mut cr);
+            let mut sr = rand::rngs::StdRng::seed_from_u64(samples_seed);
+            let window: Vec<i32> = (0..n).map(|_| amplitude(&mut sr)).collect();
+
+            let naive: i64 = window
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| i64::from(s) * i64::from(code.chips().chip(i)))
+                .sum();
+            prop_assert_eq!(code.chips().dot_levels(&window), naive);
+
+            let pos: i64 = window
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| code.chips().bit(i))
+                .map(|(_, &s)| i64::from(s))
+                .sum();
+            prop_assert_eq!(code.chips().masked_sum(&window), pos);
+
+            // The reconstruction identity the whole module rests on.
+            let total: i64 = window.iter().map(|&s| i64::from(s)).sum();
+            prop_assert_eq!(2 * code.chips().masked_sum(&window) - total, naive);
+        }
+    }
+}

@@ -14,6 +14,8 @@
 //!   rule (reliable 1 / reliable 0 / erasure);
 //! * [`channel`] — a chip-synchronous shared medium: superposed
 //!   transmissions, jammers as louder transmitters, deterministic noise;
+//! * [`correlate`] — the bit-parallel batched kernel: one window against a
+//!   whole code bank in a single pass, with prefix-sum window totals;
 //! * [`sync`] — the sliding-window scan that locates a message start among
 //!   buffered chips (and counts the correlations it cost);
 //! * [`timing`] — the buffer/process schedule constants (`t_h`, `t_b`, λ,
@@ -53,6 +55,7 @@
 pub mod channel;
 pub mod chip;
 pub mod code;
+pub mod correlate;
 pub mod gold;
 pub mod spread;
 pub mod sync;
@@ -62,6 +65,7 @@ pub mod walsh;
 pub use channel::ChipChannel;
 pub use chip::ChipSeq;
 pub use code::{CodeId, CodePool, SpreadCode, DEFAULT_CODE_LEN};
+pub use correlate::{BankScanner, MultiCorrelator};
 pub use spread::{despread_levels, spread, BitDecision, DEFAULT_TAU};
-pub use sync::{decode_frame, scan, scan_all, scan_and_decode, Frame, SyncHit};
+pub use sync::{decode_frame, scan, scan_all, scan_and_decode, scan_from, Frame, SyncHit};
 pub use timing::Schedule;

@@ -71,6 +71,11 @@ pub fn spread(bits: &[bool], code: &SpreadCode) -> ChipSeq {
 /// the correlation is normalised by `N`, so a clean matching window gives
 /// exactly ±1.
 ///
+/// This is the bit-parallel fast path ([`ChipSeq::dot_levels`]); the
+/// original chip-at-a-time loop lives on as the oracle in
+/// [`reference::correlate_window`], and both produce bit-identical `f64`
+/// results because the accumulation is exact over `i64` either way.
+///
 /// # Panics
 ///
 /// Panics if `window.len() != code.len()`.
@@ -80,11 +85,36 @@ pub fn correlate_window(window: &[i32], code: &SpreadCode) -> f64 {
         code.len(),
         "window length must equal the code length"
     );
-    let mut acc: i64 = 0;
-    for (i, &s) in window.iter().enumerate() {
-        acc += i64::from(s) * i64::from(code.chips().chip(i));
+    code.chips().dot_levels(window) as f64 / code.len() as f64
+}
+
+/// Scalar reference implementations kept as correctness oracles for the
+/// bit-parallel kernels.
+///
+/// These are the original one-chip-at-a-time loops, deliberately left
+/// untouched by the kernel rewrite: proptests and determinism tests assert
+/// that the fast paths reproduce them bit-for-bit. They are not used on any
+/// hot path.
+pub mod reference {
+    use super::SpreadCode;
+
+    /// Chip-at-a-time correlation of one `N`-chip window against a code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window.len() != code.len()`.
+    pub fn correlate_window(window: &[i32], code: &SpreadCode) -> f64 {
+        assert_eq!(
+            window.len(),
+            code.len(),
+            "window length must equal the code length"
+        );
+        let mut acc: i64 = 0;
+        for (i, &s) in window.iter().enumerate() {
+            acc += i64::from(s) * i64::from(code.chips().chip(i));
+        }
+        acc as f64 / code.len() as f64
     }
-    acc as f64 / code.len() as f64
 }
 
 /// Decides one bit from a window's correlation using threshold `tau`.
@@ -114,8 +144,14 @@ pub fn despread_levels(samples: &[i32], code: &SpreadCode, tau: f64) -> (Vec<boo
     );
     let mut bits = Vec::with_capacity(samples.len() / n);
     let mut erased = Vec::with_capacity(samples.len() / n);
-    for window in samples.chunks_exact(n) {
-        match decide(correlate_window(window, code), tau) {
+    // One-code bank: the scanner's prefix sums give each window's total in
+    // O(1), so every bit decision costs a single masked sum.
+    let bank = crate::correlate::MultiCorrelator::new(&[code]);
+    let mut scanner = bank.scanner(samples);
+    let mut corr = [0.0f64];
+    for bit_idx in 0..samples.len() / n {
+        scanner.correlate_all(bit_idx * n, &mut corr);
+        match decide(corr[0], tau) {
             BitDecision::One => {
                 bits.push(true);
                 erased.push(false);

@@ -10,6 +10,7 @@
 //! processing/buffering gap λ = ρNmR in the latency analysis.
 
 use crate::code::SpreadCode;
+use crate::correlate::{BankScanner, MultiCorrelator};
 use crate::spread::{correlate_window, decide, BitDecision};
 
 /// The result of locating a message start in a buffer.
@@ -69,55 +70,89 @@ impl Frame {
 /// assert_eq!(hit.code_index, 0);
 /// ```
 pub fn scan(samples: &[i32], codes: &[&SpreadCode], tau: f64) -> Option<SyncHit> {
-    let mut work: u64 = 0;
     if codes.is_empty() {
         return None;
     }
-    let n = codes[0].len();
-    assert!(
-        codes.iter().all(|c| c.len() == n),
-        "all candidate codes must share one chip length"
-    );
-    if samples.len() < n {
+    let bank = MultiCorrelator::new(codes);
+    let mut scanner = bank.scanner(samples);
+    scan_from(&mut scanner, 0, tau)
+}
+
+/// [`scan`] over an already-prepared [`BankScanner`], starting at absolute
+/// chip offset `start`.
+///
+/// This is the batched fast path: every window is correlated against the
+/// whole bank in one pass and the scanner's prefix sums supply each
+/// window's sample total, so sliding by one chip never re-reads the buffer
+/// to re-total it. A caller that resumes scanning (like [`scan_all`], or a
+/// receiver draining one buffering window) builds the scanner once and
+/// keeps calling `scan_from` with increasing `start`.
+///
+/// The returned [`SyncHit::offset`] is absolute within the scanner's
+/// buffer. [`SyncHit::correlations_computed`] counts from this call only
+/// and replicates the sequential algorithm's early-exit cost (a triggering
+/// offset charges only the codes up to and including the trigger), so the
+/// work metric is identical to scanning code by code.
+pub fn scan_from(scanner: &mut BankScanner<'_, '_>, start: usize, tau: f64) -> Option<SyncHit> {
+    /// Offsets per [`BankScanner::correlate_block`] call: enough reuse of
+    /// each code's mask row, small enough that the block result and the
+    /// spanned samples stay cache-resident.
+    const BLOCK: usize = 64;
+    let mut work: u64 = 0;
+    let m = scanner.bank().num_codes();
+    if m == 0 {
         return None;
     }
-    let last = samples.len() - n;
-    let mut offset = 0usize;
+    let n = scanner.bank().code_len();
+    let last = scanner.last_offset()?;
+    let buffer_len = scanner.samples().len();
+    let mut block = vec![0.0f64; BLOCK * m];
+    let mut block_start = usize::MAX; // no block computed yet
+    let mut rblock = vec![0.0f64; BLOCK * m];
+    let mut offset = start;
     while offset <= last {
-        let window = &samples[offset..offset + n];
-        let mut triggered: Option<(usize, f64)> = None;
-        for (code_index, code) in codes.iter().enumerate() {
-            let corr = correlate_window(window, code);
-            work += 1;
-            if corr.abs() >= tau {
-                triggered = Some((code_index, corr));
-                break;
-            }
+        // The sweep consumes correlations block by block; most offsets
+        // never trigger, so the eager batch costs nothing extra and lets
+        // each mask row serve BLOCK windows per load.
+        if block_start == usize::MAX || offset < block_start || offset >= block_start + BLOCK {
+            block_start = offset;
+            let count = BLOCK.min(last - offset + 1);
+            scanner.correlate_block(offset, count, &mut block);
         }
-        let Some(mut best) = triggered.map(|(ci, c)| (offset, ci, c)) else {
+        let corr = &block[(offset - block_start) * m..][..m];
+        let triggered = corr.iter().position(|c| c.abs() >= tau);
+        // Charge what the sequential scan would have computed: codes up to
+        // and including the first trigger, or all m on a miss.
+        work += triggered.map_or(m as u64, |ci| ci as u64 + 1);
+        let Some(ci) = triggered else {
             offset += 1;
             continue;
         };
+        let mut best = (offset, ci, corr[ci]);
         // Peak refinement: pure random codes have ~3.5 sigma
         // partial-autocorrelation sidelobes that can clear tau slightly
         // ahead of the true alignment. The true peak (|corr| ~ 1) lies
         // within one code length of any sidelobe, so search that window
         // across all codes and keep the strongest response.
-        for o2 in (offset + 1)..=(offset + n - 1).min(last) {
-            let w2 = &samples[o2..o2 + n];
-            for (code_index, code) in codes.iter().enumerate() {
-                let corr = correlate_window(w2, code);
-                work += 1;
-                if corr.abs() > best.2.abs() {
-                    best = (o2, code_index, corr);
+        let refine_end = (offset + n - 1).min(last);
+        let mut o2 = offset + 1;
+        while o2 <= refine_end {
+            let count = BLOCK.min(refine_end - o2 + 1);
+            scanner.correlate_block(o2, count, &mut rblock);
+            for i in 0..count {
+                work += m as u64;
+                for (code_index, &c) in rblock[i * m..(i + 1) * m].iter().enumerate() {
+                    if c.abs() > best.2.abs() {
+                        best = (o2 + i, code_index, c);
+                    }
                 }
             }
+            o2 += count;
         }
         // Confirm with the following bit window when the buffer allows;
         // a lone sidelobe with no message behind it fails this check.
-        if best.0 + 2 * n <= samples.len() {
-            let next = &samples[best.0 + n..best.0 + 2 * n];
-            let next_corr = correlate_window(next, codes[best.1]);
+        if best.0 + 2 * n <= buffer_len {
+            let next_corr = scanner.correlate_one(best.0 + n, best.1);
             work += 1;
             if next_corr.abs() < tau && best.2.abs() < 0.5 {
                 offset += 1;
@@ -192,13 +227,16 @@ pub fn scan_all(
     if codes.is_empty() {
         return found;
     }
-    let n = codes[0].len();
+    // One bank and one prefix-sum pass serve every resumed scan below.
+    let bank = MultiCorrelator::new(codes);
+    let mut scanner = bank.scanner(samples);
+    let n = bank.code_len();
     let mut pos = 0usize;
     while pos + n <= samples.len() {
-        let Some(hit) = scan(&samples[pos..], codes, tau) else {
+        let Some(hit) = scan_from(&mut scanner, pos, tau) else {
             break;
         };
-        let abs = pos + hit.offset;
+        let abs = hit.offset;
         match decode_frame(samples, abs, codes[hit.code_index], n_bits, tau) {
             Some(frame) if frame.erasure_fraction() < 0.5 => {
                 pos = abs + n_bits * n;
@@ -223,6 +261,142 @@ pub fn scan_and_decode(
     let hit = scan(samples, codes, tau)?;
     let frame = decode_frame(samples, hit.offset, codes[hit.code_index], n_bits, tau)?;
     Some((hit.code_index, frame))
+}
+
+/// Scalar transcriptions of [`scan`]/[`scan_all`], kept verbatim from
+/// before the batched-kernel rewrite as determinism oracles.
+///
+/// Tests assert the fast paths return byte-identical hit lists and work
+/// counters. Not used on any hot path.
+pub mod reference {
+    use super::{decide, BitDecision, Frame, SpreadCode, SyncHit};
+    use crate::spread::reference::correlate_window;
+
+    /// Chip-at-a-time [`super::scan`].
+    pub fn scan(samples: &[i32], codes: &[&SpreadCode], tau: f64) -> Option<SyncHit> {
+        let mut work: u64 = 0;
+        if codes.is_empty() {
+            return None;
+        }
+        let n = codes[0].len();
+        assert!(
+            codes.iter().all(|c| c.len() == n),
+            "all candidate codes must share one chip length"
+        );
+        if samples.len() < n {
+            return None;
+        }
+        let last = samples.len() - n;
+        let mut offset = 0usize;
+        while offset <= last {
+            let window = &samples[offset..offset + n];
+            let mut triggered: Option<(usize, f64)> = None;
+            for (code_index, code) in codes.iter().enumerate() {
+                let corr = correlate_window(window, code);
+                work += 1;
+                if corr.abs() >= tau {
+                    triggered = Some((code_index, corr));
+                    break;
+                }
+            }
+            let Some(mut best) = triggered.map(|(ci, c)| (offset, ci, c)) else {
+                offset += 1;
+                continue;
+            };
+            for o2 in (offset + 1)..=(offset + n - 1).min(last) {
+                let w2 = &samples[o2..o2 + n];
+                for (code_index, code) in codes.iter().enumerate() {
+                    let corr = correlate_window(w2, code);
+                    work += 1;
+                    if corr.abs() > best.2.abs() {
+                        best = (o2, code_index, corr);
+                    }
+                }
+            }
+            if best.0 + 2 * n <= samples.len() {
+                let next = &samples[best.0 + n..best.0 + 2 * n];
+                let next_corr = correlate_window(next, codes[best.1]);
+                work += 1;
+                if next_corr.abs() < tau && best.2.abs() < 0.5 {
+                    offset += 1;
+                    continue;
+                }
+            }
+            return Some(SyncHit {
+                code_index: best.1,
+                offset: best.0,
+                correlation: best.2,
+                correlations_computed: work,
+            });
+        }
+        None
+    }
+
+    /// Chip-at-a-time [`super::decode_frame`].
+    pub fn decode_frame(
+        samples: &[i32],
+        offset: usize,
+        code: &SpreadCode,
+        n_bits: usize,
+        tau: f64,
+    ) -> Option<Frame> {
+        let n = code.len();
+        let needed = offset.checked_add(n_bits.checked_mul(n)?)?;
+        if needed > samples.len() {
+            return None;
+        }
+        let mut bits = Vec::with_capacity(n_bits);
+        let mut erased = Vec::with_capacity(n_bits);
+        for j in 0..n_bits {
+            let window = &samples[offset + j * n..offset + (j + 1) * n];
+            match decide(correlate_window(window, code), tau) {
+                BitDecision::One => {
+                    bits.push(true);
+                    erased.push(false);
+                }
+                BitDecision::Zero => {
+                    bits.push(false);
+                    erased.push(false);
+                }
+                BitDecision::Erased => {
+                    bits.push(false);
+                    erased.push(true);
+                }
+            }
+        }
+        Some(Frame { bits, erased })
+    }
+
+    /// Chip-at-a-time [`super::scan_all`].
+    pub fn scan_all(
+        samples: &[i32],
+        codes: &[&SpreadCode],
+        n_bits: usize,
+        tau: f64,
+    ) -> Vec<(usize, usize, Frame)> {
+        let mut found = Vec::new();
+        if codes.is_empty() {
+            return found;
+        }
+        let n = codes[0].len();
+        let mut pos = 0usize;
+        while pos + n <= samples.len() {
+            let Some(hit) = scan(&samples[pos..], codes, tau) else {
+                break;
+            };
+            let abs = pos + hit.offset;
+            match decode_frame(samples, abs, codes[hit.code_index], n_bits, tau) {
+                Some(frame) if frame.erasure_fraction() < 0.5 => {
+                    pos = abs + n_bits * n;
+                    found.push((hit.code_index, abs, frame));
+                }
+                _ => {
+                    pos = abs + n;
+                }
+            }
+        }
+        found
+    }
 }
 
 #[cfg(test)]

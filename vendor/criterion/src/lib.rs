@@ -1,0 +1,483 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! small benchmark harness that is API-compatible with the criterion calls in
+//! `crates/bench/benches/*`: [`Criterion::benchmark_group`],
+//! `bench_function`/`bench_with_input`, [`Throughput`], [`BenchmarkId`],
+//! [`black_box`] and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: after a short warm-up, each benchmark body runs in
+//! batches sized to the warm-up estimate until the measurement window
+//! elapses; the reported time per iteration is the median of batch means.
+//! Supported CLI arguments (all others are ignored for compatibility):
+//!
+//! * a free-form substring filters benchmark ids;
+//! * `--test` runs every benchmark body exactly once without timing;
+//! * `--quick` shrinks the measurement window by 10×.
+//!
+//! Results are printed to stdout and, when the `BENCH_JSON` environment
+//! variable names a path, appended as a JSON array of
+//! `{id, ns_per_iter, throughput}` records — the hook the repository's
+//! `BENCH_*.json` trajectory files are written through.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How work per iteration is expressed for derived throughput rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many abstract elements (e.g. chips).
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// An id that is only a parameter (group name supplies the prefix).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted where a benchmark name is expected.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Full benchmark id (`group/name[/param]`).
+    pub id: String,
+    /// Mean wall time per iteration, nanoseconds.
+    pub ns_per_iter: f64,
+    /// Derived rate, when a [`Throughput`] was configured.
+    pub throughput: Option<(f64, &'static str)>,
+}
+
+/// Passed to benchmark closures; runs the measured body.
+pub struct Bencher<'a> {
+    mode: Mode,
+    measurement_time: Duration,
+    result_ns: &'a mut f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Measure,
+    TestOnce,
+}
+
+impl Bencher<'_> {
+    /// Calls `body` repeatedly and records the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        if self.mode == Mode::TestOnce {
+            black_box(body());
+            *self.result_ns = 0.0;
+            return;
+        }
+        // Warm-up: find a batch size whose runtime is measurable (~1 ms),
+        // running at least a few iterations to fault in caches.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(body());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 4;
+        }
+        // Measurement: batches of the discovered size until the window
+        // elapses; keep per-batch means and report their median (robust to
+        // scheduler noise without criterion's full bootstrap machinery).
+        let mut means: Vec<f64> = Vec::new();
+        let window_start = Instant::now();
+        while window_start.elapsed() < self.measurement_time || means.len() < 5 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(body());
+            }
+            means.push(start.elapsed().as_nanos() as f64 / batch as f64);
+            if means.len() >= 10_000 {
+                break;
+            }
+        }
+        means.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        *self.result_ns = means[means.len() / 2];
+    }
+}
+
+/// A named collection of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the work performed per iteration for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let throughput = self.throughput;
+        self.criterion.run_one(full, throughput, f);
+        self
+    }
+
+    /// Benchmarks `f` with an input reference, criterion-style.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (prints nothing; summaries stream as they finish).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+    mode: Mode,
+    measurement_time: Duration,
+    summaries: Vec<Summary>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            mode: Mode::Measure,
+            measurement_time: Duration::from_millis(900),
+            summaries: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies the benchmark CLI arguments (`--test`, `--quick`, a filter).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.mode = Mode::TestOnce,
+                "--quick" => self.measurement_time = Duration::from_millis(90),
+                "--bench" | "--nocapture" | "--noplot" => {}
+                // Options with a value we don't use.
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
+                | "--sample-size" => {
+                    args.next();
+                }
+                other => {
+                    if !other.starts_with('-') && self.filter.is_none() {
+                        self.filter = Some(other.to_string());
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// Opens a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 0,
+        }
+    }
+
+    /// Benchmarks `f` under a bare id (no group).
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.run_one(id.into_id(), None, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: String, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut result_ns = f64::NAN;
+        let mut bencher = Bencher {
+            mode: self.mode,
+            measurement_time: self.measurement_time,
+            result_ns: &mut result_ns,
+        };
+        f(&mut bencher);
+        if result_ns.is_nan() {
+            // The closure never called iter(); nothing to report.
+            return;
+        }
+        if self.mode == Mode::TestOnce {
+            println!("test {id} ... ok (ran once, untimed)");
+            self.summaries.push(Summary {
+                id,
+                ns_per_iter: 0.0,
+                throughput: None,
+            });
+            return;
+        }
+        let throughput = throughput.map(|t| match t {
+            Throughput::Elements(n) => (n as f64 * 1e9 / result_ns, "elem/s"),
+            Throughput::Bytes(n) => (n as f64 * 1e9 / result_ns, "B/s"),
+        });
+        match throughput {
+            Some((rate, unit)) => println!(
+                "{id:<56} {:>14} ns/iter {:>16}/{unit}",
+                format_scaled(result_ns),
+                format_scaled(rate)
+            ),
+            None => println!("{id:<56} {:>14} ns/iter", format_scaled(result_ns)),
+        }
+        self.summaries.push(Summary {
+            id,
+            ns_per_iter: result_ns,
+            throughput,
+        });
+    }
+
+    /// All summaries recorded so far.
+    pub fn summaries(&self) -> &[Summary] {
+        &self.summaries
+    }
+
+    /// Writes every summary as a JSON array to `path`.
+    ///
+    /// The format is intentionally plain — one object per benchmark with
+    /// `id`, `ns_per_iter` and optional `throughput`/`throughput_unit` — so
+    /// the repository's `BENCH_*.json` files stay diffable between PRs.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut out = String::from("[\n");
+        for (i, s) in self.summaries.iter().enumerate() {
+            out.push_str("  {");
+            out.push_str(&format!("\"id\": \"{}\"", escape_json(&s.id)));
+            out.push_str(&format!(", \"ns_per_iter\": {:.3}", s.ns_per_iter));
+            if let Some((rate, unit)) = &s.throughput {
+                out.push_str(&format!(
+                    ", \"throughput\": {rate:.3}, \"throughput_unit\": \"{unit}\""
+                ));
+            }
+            out.push('}');
+            if i + 1 < self.summaries.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        std::fs::write(path, out)
+    }
+
+    /// Writes JSON to the path named by `BENCH_JSON`, if set.
+    pub fn write_json_from_env(&self) {
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            if let Err(e) = self.write_json(std::path::Path::new(&path)) {
+                eprintln!("warning: could not write {path}: {e}");
+            }
+        }
+    }
+}
+
+fn format_scaled(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.3}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.3}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.3}k", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Declares a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+            criterion.write_json_from_env();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_noop_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(64));
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..64u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 32), &32u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn measures_and_summarises() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(20),
+            ..Criterion::default()
+        };
+        run_noop_bench(&mut c);
+        assert_eq!(c.summaries().len(), 2);
+        let s = &c.summaries()[0];
+        assert_eq!(s.id, "shim/spin");
+        assert!(s.ns_per_iter > 0.0);
+        let (rate, unit) = s.throughput.expect("throughput configured");
+        assert!(rate > 0.0);
+        assert_eq!(unit, "elem/s");
+        assert_eq!(c.summaries()[1].id, "shim/param/32");
+    }
+
+    #[test]
+    fn test_mode_runs_once_untimed() {
+        let mut c = Criterion {
+            mode: Mode::TestOnce,
+            ..Criterion::default()
+        };
+        let mut calls = 0u32;
+        c.bench_function("once", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(c.summaries()[0].ns_per_iter, 0.0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("match-me".into()),
+            measurement_time: Duration::from_millis(5),
+            ..Criterion::default()
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            b.iter(|| {
+                ran = true;
+            })
+        });
+        assert!(!ran);
+        assert!(c.summaries().is_empty());
+    }
+
+    #[test]
+    fn json_round_trips_structure() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+            ..Criterion::default()
+        };
+        c.bench_function("json\"quoted\"", |b| b.iter(|| black_box(1 + 1)));
+        let dir = std::env::temp_dir().join("criterion-shim-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        c.write_json(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("[\n") && text.trim_end().ends_with(']'));
+        assert!(text.contains("\\\"quoted\\\""));
+        assert!(text.contains("ns_per_iter"));
+    }
+}

@@ -1,0 +1,590 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate provides an
+//! API-compatible, deterministic replacement for the pieces of proptest the
+//! repository's property tests call: the [`Strategy`] trait with `prop_map`
+//! and `boxed`, range/tuple/`Just`/`any`/`collection::vec` strategies, the
+//! `proptest!`, `prop_compose!`, `prop_oneof!`, `prop_assert!`,
+//! `prop_assert_eq!` and `prop_assume!` macros, and a seeded
+//! [`test_runner::TestRunner`].
+//!
+//! Differences from upstream proptest, chosen deliberately for this repo:
+//!
+//! * **No shrinking.** A failing case reports the test name, case index and
+//!   seed; re-running is fully deterministic, so the failure replays exactly.
+//! * **Deterministic seeding.** Case seeds derive from the test name and
+//!   case index (FNV-1a), not OS entropy, so CI and local runs agree.
+//!   `proptest-regressions` files are ignored.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A boxed, type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    /// Generates values of an associated type from a seeded RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed strategies — the engine behind
+    /// `prop_oneof!`.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics on an empty option list.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! requires at least one option"
+            );
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy!((A.0)(A.0, B.1)(A.0, B.1, C.2)(A.0, B.1, C.2, D.3)(
+        A.0, B.1, C.2, D.3, E.4
+    )(A.0, B.1, C.2, D.3, E.4, F.5)(
+        A.0, B.1, C.2, D.3, E.4, F.5, G.6
+    )(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7));
+
+    /// Strategy for `any::<T>()`.
+    pub struct AnyStrategy<T> {
+        _marker: PhantomData<fn() -> T>,
+    }
+
+    impl<T: super::arbitrary::Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Uniformly random values of `T`'s whole domain.
+    pub fn any<T: super::arbitrary::Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: PhantomData,
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! Default "whole domain" generation for primitive types.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Types with a canonical uniform generator.
+    pub trait Arbitrary: Sized {
+        /// Draws one uniformly random value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: an exact size or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: r.end() + 1,
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The result of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case loop: seeding, rejection handling, failure reporting.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered this case out; try another.
+        Reject,
+        /// A `prop_assert!`-family assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given reason (upstream constructor).
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejection: the case's inputs don't satisfy a precondition
+        /// (upstream constructor).
+        pub fn reject(_reason: impl Into<String>) -> Self {
+            TestCaseError::Reject
+        }
+    }
+
+    /// Runner configuration (only `cases` is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` successful cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Executes the case loop for one `proptest!`-generated test.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        name_hash: u64,
+        name: &'static str,
+    }
+
+    impl TestRunner {
+        /// Creates a runner whose case seeds derive from `name`.
+        pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRunner {
+                config,
+                name_hash: h,
+                name,
+            }
+        }
+
+        /// Runs `f` until `config.cases` cases pass; panics on the first
+        /// failing case with its replay seed.
+        pub fn run(&mut self, f: impl Fn(&mut StdRng) -> Result<(), TestCaseError>) {
+            let mut passed: u32 = 0;
+            let mut attempt: u64 = 0;
+            let max_attempts = u64::from(self.config.cases) * 256 + 4096;
+            while passed < self.config.cases {
+                let seed = self.name_hash ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let mut rng = StdRng::seed_from_u64(seed);
+                match f(&mut rng) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject) => {}
+                    Err(TestCaseError::Fail(msg)) => panic!(
+                        "proptest '{}' failed at case {} (attempt {}, seed {:#x}):\n{}",
+                        self.name, passed, attempt, seed, msg
+                    ),
+                }
+                attempt += 1;
+                assert!(
+                    attempt <= max_attempts,
+                    "proptest '{}': too many rejected cases ({} attempts for {} passes)",
+                    self.name,
+                    attempt,
+                    passed
+                );
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_compose, prop_oneof, proptest};
+}
+
+/// Declares property tests over named strategies.
+///
+/// Supports the upstream form used in this workspace: an optional
+/// `#![proptest_config(..)]` header followed by `#[test]` functions whose
+/// arguments are `name in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner =
+                    $crate::test_runner::TestRunner::new(config, concat!(module_path!(), "::", stringify!($name)));
+                runner.run(|proptest_case_rng| {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), proptest_case_rng);
+                    )+
+                    $body
+                    Ok(())
+                });
+            }
+        )+
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)+) => {
+        $crate::proptest!(@run ($cfg) $($rest)+);
+    };
+    ($($rest:tt)+) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)+);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (prop_l, prop_r) => {
+                $crate::prop_assert!(
+                    prop_l == prop_r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    prop_l,
+                    prop_r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (prop_l, prop_r) => {
+                $crate::prop_assert!(
+                    prop_l == prop_r,
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    prop_l,
+                    prop_r
+                );
+            }
+        }
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Composes named sub-strategies into a derived-value strategy function.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident ( $($outer:tt)* ) (
+            $($arg:ident in $strat:expr),+ $(,)?
+        ) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strat,)+),
+                move |($($arg,)+)| $body
+            )
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Pick {
+        Small(u64),
+        Index(usize),
+        Fixed,
+    }
+
+    fn arb_pick() -> impl Strategy<Value = Pick> {
+        prop_oneof![
+            (0u64..100).prop_map(Pick::Small),
+            (0usize..8).prop_map(Pick::Index),
+            Just(Pick::Fixed),
+        ]
+    }
+
+    prop_compose! {
+        fn arb_pair()(a in 0u32..50, b in 50u32..100) -> (u32, u32) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, y in 0u8..=255, f in 0.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            let _ = y;
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in crate::collection::vec(any::<bool>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn exact_vec_size(v in crate::collection::vec(any::<u8>(), 7)) {
+            prop_assert_eq!(v.len(), 7);
+        }
+
+        #[test]
+        fn oneof_and_compose_generate(p in arb_pick(), pair in arb_pair()) {
+            match p {
+                Pick::Small(v) => prop_assert!(v < 100),
+                Pick::Index(i) => prop_assert!(i < 8),
+                Pick::Fixed => {}
+            }
+            prop_assert!(pair.0 < 50 && pair.1 >= 50);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..10) {
+            prop_assume!(n != 3);
+            prop_assert!(n != 3);
+        }
+    }
+
+    #[test]
+    fn failing_case_panics_with_context() {
+        let result = std::panic::catch_unwind(|| {
+            let mut runner = crate::test_runner::TestRunner::new(
+                crate::test_runner::ProptestConfig::with_cases(8),
+                "always_fails",
+            );
+            runner.run(|_| Err(crate::test_runner::TestCaseError::Fail("boom".into())));
+        });
+        let err = result.expect_err("runner must panic on failure");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(
+            msg.contains("always_fails") && msg.contains("boom"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        fn collect() -> Vec<u64> {
+            let mut out = Vec::new();
+            let mut runner = crate::test_runner::TestRunner::new(
+                crate::test_runner::ProptestConfig::with_cases(16),
+                "determinism_probe",
+            );
+            // Channel values out through a cell captured by the closure.
+            let sink = std::cell::RefCell::new(&mut out);
+            runner.run(|rng| {
+                sink.borrow_mut()
+                    .push(crate::strategy::Strategy::generate(&(0u64..1_000_000), rng));
+                Ok(())
+            });
+            out
+        }
+        assert_eq!(collect(), collect());
+    }
+}

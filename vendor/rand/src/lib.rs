@@ -1,0 +1,453 @@
+//! Offline shim for the subset of the `rand` 0.8 API this workspace uses.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors a small, deterministic implementation of the `rand`
+//! surface it actually calls: [`RngCore`], [`SeedableRng`], the [`Rng`]
+//! extension trait (`gen`, `gen_bool`, `gen_range`), [`rngs::StdRng`] and
+//! [`seq::SliceRandom::shuffle`]. The generator behind [`rngs::StdRng`] is
+//! xoshiro256** seeded through SplitMix64 — *not* the ChaCha stream of the
+//! real crate — so seeded streams differ from upstream `rand`, but every
+//! consumer in this repository asserts statistical or replay properties,
+//! never golden values of the upstream stream.
+//!
+//! Only what the workspace needs is implemented; this is not a general
+//! replacement for `rand`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Error type for fallible RNG operations (never produced by this shim).
+pub struct Error {
+    _priv: (),
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rand::Error")
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("random number generator failure")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: raw word output.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible [`RngCore::fill_bytes`]; this shim never fails.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed material.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from raw seed bytes.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = splitmix64(&mut state).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform `f64` in `[0, 1)` from 53 random bits.
+#[inline]
+fn unit_f64(rng: &mut (impl RngCore + ?Sized)) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types that [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    /// Draws one uniformly random value.
+    fn sample_standard(rng: &mut (impl RngCore + ?Sized)) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample_standard(rng: &mut (impl RngCore + ?Sized)) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn sample_standard(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample_standard(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample_standard(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        unit_f64(rng) as f32
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from(self, rng: &mut (impl RngCore + ?Sized)) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut (impl RngCore + ?Sized)) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                let v = mul_shift_u64(rng.next_u64(), span as u64);
+                (self.start as $u).wrapping_add(v as $u) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut (impl RngCore + ?Sized)) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as $u).wrapping_sub(start as $u).wrapping_add(1);
+                if span == 0 {
+                    // Full domain of the type.
+                    return rng.next_u64() as $t;
+                }
+                let v = mul_shift_u64(rng.next_u64(), span as u64);
+                (start as $u).wrapping_add(v as $u) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+/// `floor(x * span / 2^64)` — an (effectively) unbiased range reduction.
+#[inline]
+fn mul_shift_u64(x: u64, span: u64) -> u64 {
+    ((u128::from(x) * u128::from(span)) >> 64) as u64
+}
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from(self, rng: &mut (impl RngCore + ?Sized)) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = self.start + (self.end - self.start) * unit_f64(rng);
+        // Guard against rounding up to the excluded endpoint.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    #[inline]
+    fn sample_from(self, rng: &mut (impl RngCore + ?Sized)) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = self.start + (self.end - self.start) * unit_f64(rng) as f32;
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly random value of type `T`.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// A uniformly random value from `range`.
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        unit_f64(self) < p
+    }
+
+    /// Fills `dest` with random bytes (alias of [`RngCore::fill_bytes`]).
+    #[inline]
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{splitmix64, Error, RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**.
+    ///
+    /// Stream-incompatible with upstream `rand::rngs::StdRng` (ChaCha12),
+    /// but equally suitable for seeded simulation.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            let mut chunks = dest.chunks_exact_mut(8);
+            for chunk in &mut chunks {
+                chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+            }
+            let rem = chunks.into_remainder();
+            if !rem.is_empty() {
+                let bytes = self.next_u64().to_le_bytes();
+                rem.copy_from_slice(&bytes[..rem.len()]);
+            }
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            // Scramble so weak seeds (e.g. all zeros) still yield a good
+            // state; xoshiro must not start at the all-zero fixed point.
+            let mut sm = s[0] ^ s[1].rotate_left(17) ^ s[2].rotate_left(31) ^ s[3].rotate_left(47);
+            for word in s.iter_mut() {
+                *word ^= splitmix64(&mut sm);
+            }
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related extensions.
+
+    use super::{Rng, RngCore};
+
+    /// Extension methods on slices (`shuffle`, `choose`).
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Common imports.
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_replay() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut r = StdRng::from_seed([0u8; 32]);
+        let distinct: std::collections::HashSet<u64> = (0..32).map(|_| r.next_u64()).collect();
+        assert!(distinct.len() > 16);
+    }
+
+    #[test]
+    fn gen_range_bounds_hold() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let x: u32 = r.gen_range(3..10);
+            assert!((3..10).contains(&x));
+            let y: i32 = r.gen_range(-5..=5);
+            assert!((-5..=5).contains(&y));
+            let f: f64 = r.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_extremes() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_rate_is_plausible() {
+        let mut r = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "hits = {hits}");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn fill_bytes_partial_chunks() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut buf = [0u8; 11];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+        assert!(r.try_fill_bytes(&mut buf).is_ok());
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements almost surely move");
+        assert!(v.choose(&mut r).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+    }
+
+    #[test]
+    fn standard_draws_all_used_types() {
+        let mut r = StdRng::seed_from_u64(6);
+        let _: bool = r.gen();
+        let _: u8 = r.gen();
+        let _: u32 = r.gen();
+        let _: u64 = r.gen();
+        let f: f64 = r.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

@@ -1,0 +1,34 @@
+//! Offline shim for the `serde` API surface this workspace compiles
+//! against: the `Serialize`/`Deserialize` traits and their derive macros.
+//!
+//! The workspace derives these traits on parameter and statistics types so
+//! downstream consumers *could* serialize them, but nothing in-tree calls a
+//! serializer. The build environment has no crates.io access, so this shim
+//! provides the trait names and no-op derives; swapping back to real serde
+//! is a one-line change in the workspace `Cargo.toml`.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de {
+    //! Deserialization-side re-exports.
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    //! Serialization-side re-exports.
+    pub use super::Serialize;
+}

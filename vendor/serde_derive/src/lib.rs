@@ -1,0 +1,45 @@
+//! No-op derive macros backing the offline `serde` shim: `#[derive(Serialize,
+//! Deserialize)]` compiles (attributes are accepted and ignored) but emits no
+//! trait impls beyond blanket-free empty markers.
+
+use proc_macro::TokenStream;
+
+/// Emits an (empty-bodied) `serde::Serialize` impl for the derived type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    impl_marker(input, "Serialize")
+}
+
+/// Emits an (empty-bodied) `serde::Deserialize` impl for the derived type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    impl_marker(input, "Deserialize")
+}
+
+/// Extracts the type name following `struct`/`enum` and emits
+/// `impl serde::Trait for Name {}`. Generic types are not supported (and not
+/// used with these derives in this workspace).
+fn impl_marker(input: TokenStream, trait_name: &str) -> TokenStream {
+    let mut tokens = input.into_iter();
+    let mut name: Option<String> = None;
+    while let Some(tt) = tokens.next() {
+        if let proc_macro::TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                if let Some(proc_macro::TokenTree::Ident(n)) = tokens.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let Some(name) = name else {
+        return TokenStream::new();
+    };
+    let imp = if trait_name == "Deserialize" {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    } else {
+        format!("impl ::serde::{trait_name} for {name} {{}}")
+    };
+    imp.parse().expect("generated impl parses")
+}
