@@ -2,20 +2,23 @@
 //!
 //! ```text
 //! repro [EXPERIMENT]... [--reps N] [--seed S] [--quick] [--csv DIR]
+//!       [--metrics PATH]
 //!
 //! EXPERIMENT: table1 fig2a fig2b fig3a fig3b fig4a fig4b fig5a fig5b
 //!             theory dos baselines ablation-redundancy ablation-gamma
-//!             ablation-predist multiantenna jammers timeline all
+//!             ablation-predist multiantenna jammers timeline chiplevel all
 //!             (default: all)
-//! --reps N    Monte-Carlo repetitions per point (default 20; paper: 100)
-//! --seed S    base RNG seed (default 2011)
-//! --quick     shrink the network for a fast smoke run
-//! --csv DIR   also write each experiment's table as DIR/<name>.csv
+//! --reps N       Monte-Carlo repetitions per point (default 20; paper: 100)
+//! --seed S       base RNG seed (default 2011)
+//! --quick        shrink the network for a fast smoke run
+//! --csv DIR      also write each experiment's table as DIR/<name>.csv
+//! --metrics PATH write the observability snapshot (counters, gauges,
+//!                histograms across every layer) as JSON after the run
 //! ```
 
 use jrsnd_bench::{
-    ablation_gamma, ablation_predist, ablation_redundancy, baselines, dos, fig2a, fig2b, fig3a,
-    fig3b, fig4, fig5a, fig5b, jammers, multiantenna, table1, theory, timeline_experiment,
+    ablation_gamma, ablation_predist, ablation_redundancy, baselines, chiplevel, dos, fig2a, fig2b,
+    fig3a, fig3b, fig4, fig5a, fig5b, jammers, multiantenna, table1, theory, timeline_experiment,
     FigureOutput, Scale,
 };
 use std::io::Write;
@@ -26,6 +29,7 @@ struct Options {
     seed: u64,
     scale: Scale,
     csv_dir: Option<std::path::PathBuf>,
+    metrics_path: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -34,6 +38,7 @@ fn parse_args() -> Result<Options, String> {
     let mut seed = 2011u64;
     let mut scale = Scale::Full;
     let mut csv_dir = None;
+    let mut metrics_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -52,6 +57,10 @@ fn parse_args() -> Result<Options, String> {
             "--csv" => {
                 let v = args.next().ok_or("--csv needs a directory")?;
                 csv_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--metrics" => {
+                let v = args.next().ok_or("--metrics needs a file path")?;
+                metrics_path = Some(std::path::PathBuf::from(v));
             }
             "--help" | "-h" => {
                 println!("{HELP}");
@@ -83,6 +92,7 @@ fn parse_args() -> Result<Options, String> {
             "multiantenna",
             "jammers",
             "timeline",
+            "chiplevel",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -94,14 +104,16 @@ fn parse_args() -> Result<Options, String> {
         seed,
         scale,
         csv_dir,
+        metrics_path,
     })
 }
 
 const HELP: &str = "repro — regenerate the JR-SND paper's tables and figures
 usage: repro [EXPERIMENT]... [--reps N] [--seed S] [--quick] [--csv DIR]
+             [--metrics PATH]
 experiments: table1 fig2a fig2b fig3a fig3b fig4a fig4b fig5a fig5b theory dos
              baselines ablation-redundancy ablation-gamma ablation-predist
-             multiantenna jammers timeline all";
+             multiantenna jammers timeline chiplevel all";
 
 fn run_one(name: &str, opts: &Options) -> Result<FigureOutput, String> {
     let (reps, seed, scale) = (opts.reps, opts.seed, opts.scale);
@@ -124,6 +136,7 @@ fn run_one(name: &str, opts: &Options) -> Result<FigureOutput, String> {
         "multiantenna" => multiantenna(),
         "jammers" => jammers(reps, seed, scale),
         "timeline" => timeline_experiment(seed),
+        "chiplevel" => chiplevel(seed),
         other => return Err(format!("unknown experiment `{other}` (see --help)")),
     })
 }
@@ -179,6 +192,28 @@ fn main() {
             Err(e) => {
                 eprintln!("error: {e}");
                 std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = &opts.metrics_path {
+        let snap = jrsnd_sim::metrics::snapshot();
+        match std::fs::File::create(path).and_then(|mut f| f.write_all(snap.to_json().as_bytes())) {
+            Ok(()) => {
+                let layers = ["engine.", "dsss.", "chiplink.", "jammer.", "dndp.", "mndp."]
+                    .iter()
+                    .filter(|p| !snap.nonzero_with_prefix(p).is_empty())
+                    .count();
+                println!(
+                    "wrote {} ({} counters, {} gauges, {} histograms; {layers} layers active)",
+                    path.display(),
+                    snap.counters.len(),
+                    snap.gauges.len(),
+                    snap.histograms.len(),
+                );
+            }
+            Err(e) => {
+                eprintln!("error: could not write {}: {e}", path.display());
+                std::process::exit(1);
             }
         }
     }

@@ -1,0 +1,54 @@
+//! The observability acceptance check: a quick-scale run must light up
+//! counters in at least four layers of the stack (event engine, DSSS
+//! chip link, jammer, and the D-NDP/M-NDP protocols), and the snapshot
+//! must round-trip those values through its JSON form.
+
+use jrsnd::montecarlo::run_many;
+use jrsnd::network::ExperimentConfig;
+use jrsnd_sim::engine::{Control, Engine};
+use jrsnd_sim::metrics;
+use jrsnd_sim::time::SimTime;
+
+#[test]
+fn quick_run_populates_at_least_four_layers() {
+    // Protocol layers: a tiny Monte-Carlo batch drives D-NDP, M-NDP,
+    // the probability-level jammer, and the network driver.
+    let mut cfg = ExperimentConfig::paper_default();
+    cfg.params.n = 150;
+    cfg.params.field_w = 1400.0;
+    cfg.params.field_h = 1400.0;
+    cfg.params.l = 10;
+    cfg.params.m = 30;
+    cfg.params.q = 5;
+    run_many(&cfg, 2, 11);
+
+    // Radio layer: one chip-level experiment drives dsss.* / chiplink.*
+    // and the chip-granular jammer.* metrics.
+    jrsnd_bench::chiplevel(17);
+
+    // Engine layer: a minimal discrete-event run.
+    let mut engine = Engine::new();
+    engine.schedule_at(SimTime::from_secs(1), ());
+    engine.run(SimTime::from_secs(2), |_, _, _| Control::Continue);
+
+    let snap = metrics::snapshot();
+    let layers = ["engine.", "dsss.", "jammer.", "dndp.", "mndp."];
+    let active: Vec<&str> = layers
+        .iter()
+        .copied()
+        .filter(|p| !snap.nonzero_with_prefix(p).is_empty())
+        .collect();
+    assert!(
+        active.len() >= 4,
+        "expected >= 4 instrumented layers, got {active:?}"
+    );
+
+    // Spot-check that the JSON snapshot carries the same numbers the
+    // typed accessors report.
+    let json = snap.to_json();
+    for prefix in &active {
+        for name in snap.nonzero_with_prefix(prefix) {
+            assert!(json.contains(name), "{name} missing from snapshot JSON");
+        }
+    }
+}

@@ -20,6 +20,7 @@ use jrsnd_dsss::spread::spread;
 use jrsnd_dsss::sync::{decode_frame, scan_from};
 use jrsnd_ecc::expand::ExpansionCode;
 use jrsnd_sim::rng::SimRng;
+use jrsnd_sim::{metric_counter, metric_histogram};
 use rand::{Rng, SeedableRng};
 
 /// How the chip-level jammer behaves during the handshake.
@@ -64,6 +65,9 @@ pub struct HandshakeReport {
     pub stage: Stage,
     /// Correlations evaluated by B's initial sliding-window scan.
     pub scan_correlations: u64,
+    /// Sync candidates B discarded (noise syncs or jammed frames) before
+    /// it either recovered a HELLO or gave up.
+    pub sync_retries: u64,
 }
 
 /// Handshake progress marker.
@@ -94,6 +98,7 @@ fn transmit_and_receive(
     jammer: Option<&ChipJammer>,
     message_index: usize,
     tau: f64,
+    chip_rate: f64,
     noise_seed: u64,
     rng: &mut SimRng,
 ) -> Option<Vec<bool>> {
@@ -110,6 +115,7 @@ fn transmit_and_receive(
         if jam_bits_count > 0 {
             let start_bit = coded.len() - jam_bits_count;
             let garbage: Vec<bool> = (0..jam_bits_count).map(|_| rng.gen()).collect();
+            record_jam(start_bit, jam_bits_count, n, chip_rate);
             channel.transmit(
                 (start_bit * n) as u64,
                 spread(&garbage, &j.code),
@@ -118,9 +124,26 @@ fn transmit_and_receive(
         }
     }
     let samples = channel.render(0, total_chips);
-    let frame = decode_frame(&samples, 0, code, coded.len(), tau)?;
-    ecc.decode_bits(&frame.bits, &frame.erased, message_bits.len())
-        .ok()
+    let decoded = decode_frame(&samples, 0, code, coded.len(), tau).and_then(|frame| {
+        ecc.decode_bits(&frame.bits, &frame.erased, message_bits.len())
+            .ok()
+    });
+    if decoded.is_some() {
+        metric_counter!("dsss.frames_decoded").inc();
+    } else {
+        metric_counter!("dsss.frames_failed").inc();
+    }
+    decoded
+}
+
+/// Accounts one jam burst: chips covered, plus the jammer's reaction
+/// latency — how much of the message it let through before its garbage
+/// landed (`start_bit` bit periods of `n` chips at `chip_rate` chips/s).
+fn record_jam(start_bit: usize, jam_bits: usize, n: usize, chip_rate: f64) {
+    metric_counter!("jammer.bursts").inc();
+    metric_counter!("jammer.chips_jammed").add((jam_bits * n) as u64);
+    metric_histogram!("jammer.reaction_latency_s", 0.0, 0.05, 25)
+        .record(start_bit as f64 * n as f64 / chip_rate);
 }
 
 /// Runs the full four-message D-NDP handshake between `A` and `B` at chip
@@ -183,6 +206,7 @@ pub fn run_handshake(
             for copy in 0..a_codes.len() {
                 let start_bit = copy * hello_coded.len() + (hello_coded.len() - jam_bits);
                 let garbage: Vec<bool> = (0..jam_bits).map(|_| rng.gen()).collect();
+                record_jam(hello_coded.len() - jam_bits, jam_bits, n, params.chip_rate);
                 channel.transmit(
                     (start_bit * n) as u64,
                     spread(&garbage, &j.code),
@@ -201,12 +225,16 @@ pub fn run_handshake(
     // sync or an undecodable (jammed) frame must not stop it from finding
     // a later clean copy in the same buffer.
     let mut scan_correlations = 0u64;
+    let mut sync_retries = 0u64;
     let mut confirm_frame: Option<Vec<bool>> = None;
     let mut pos = 0usize;
+    metric_counter!("chiplink.handshakes").inc();
     while pos + n <= buffer.len() {
         let Some(h) = scan_from(&mut scanner, pos, tau) else {
+            metric_counter!("dsss.sync_misses").inc();
             break;
         };
+        metric_counter!("dsss.sync_hits").inc();
         scan_correlations += h.correlations_computed;
         let abs_offset = h.offset;
         let frame = decode_frame(
@@ -227,13 +255,17 @@ pub fn run_handshake(
             }
         }
         // Skip one bit period: the refinement already searched this window.
+        sync_retries += 1;
         pos = abs_offset + n;
     }
+    metric_counter!("dsss.scan_correlations").add(scan_correlations);
+    metric_counter!("dsss.sync_retries").add(sync_retries);
     let Some(confirm_bits) = confirm_frame else {
         return HandshakeReport {
             discovered: false,
             stage: Stage::NoHello,
             scan_correlations,
+            sync_retries,
         };
     };
     let code = &b_codes[shared_b]; // == a_codes[shared_a]
@@ -247,6 +279,7 @@ pub fn run_handshake(
         jammer,
         1,
         tau,
+        params.chip_rate,
         seed ^ 0x2222,
         &mut rng,
     )
@@ -256,6 +289,7 @@ pub fn run_handshake(
             discovered: false,
             stage: Stage::NoConfirm,
             scan_correlations,
+            sync_retries,
         };
     };
 
@@ -267,6 +301,7 @@ pub fn run_handshake(
         jammer,
         2,
         tau,
+        params.chip_rate,
         seed ^ 0x3333,
         &mut rng,
     )
@@ -276,6 +311,7 @@ pub fn run_handshake(
             discovered: false,
             stage: Stage::AuthAFailed,
             scan_correlations,
+            sync_retries,
         };
     };
 
@@ -287,6 +323,7 @@ pub fn run_handshake(
         jammer,
         3,
         tau,
+        params.chip_rate,
         seed ^ 0x4444,
         &mut rng,
     )
@@ -296,14 +333,20 @@ pub fn run_handshake(
             discovered: false,
             stage: Stage::AuthBFailed,
             scan_correlations,
+            sync_retries,
         };
     };
 
     // ---- Both sides hold the session spread code; they must agree. ----
+    let discovered = est_a.session_code == est_b.session_code;
+    if discovered {
+        metric_counter!("chiplink.completed").inc();
+    }
     HandshakeReport {
-        discovered: est_a.session_code == est_b.session_code,
+        discovered,
         stage: Stage::Complete,
         scan_correlations,
+        sync_retries,
     }
 }
 

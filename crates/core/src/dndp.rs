@@ -14,6 +14,7 @@ use crate::jammer::Jammer;
 use crate::params::Params;
 use jrsnd_dsss::code::CodeId;
 use jrsnd_sim::rng::SimRng;
+use jrsnd_sim::{metric_counter, sim_trace};
 use rand::Rng;
 
 /// Protocol variants for the redundancy ablation.
@@ -69,7 +70,9 @@ pub fn simulate_pair_with(
     rng: &mut SimRng,
 ) -> DndpOutcome {
     let x = shared.len();
+    metric_counter!("dndp.pair_sessions").inc();
     if x == 0 {
+        metric_counter!("dndp.no_shared_code").inc();
         return DndpOutcome {
             discovered: false,
             shared_codes: 0,
@@ -77,6 +80,7 @@ pub fn simulate_pair_with(
             latency: None,
         };
     }
+    metric_counter!("dndp.hellos_sent").add(x as u64);
 
     // Phase 1: which HELLO copies does B receive?
     let hello_received: Vec<bool> = shared
@@ -99,6 +103,8 @@ pub fn simulate_pair_with(
         .map(|(&c, _)| c)
         .collect();
     if candidate_codes.is_empty() {
+        metric_counter!("dndp.hello_all_jammed").inc();
+        sim_trace!(0.0, "dndp", "all {x} HELLO copies jammed; pair lost");
         return DndpOutcome {
             discovered: false,
             shared_codes: x,
@@ -120,6 +126,19 @@ pub fn simulate_pair_with(
         .count();
 
     let discovered = surviving > 0;
+    metric_counter!("dndp.subsessions").add(session_codes.len() as u64);
+    metric_counter!("dndp.subsessions_survived").add(surviving as u64);
+    if discovered {
+        metric_counter!("dndp.discovered").inc();
+    } else {
+        metric_counter!("dndp.tail_all_jammed").inc();
+        sim_trace!(
+            0.0,
+            "dndp",
+            "all {} sub-session tails jammed; pair lost",
+            session_codes.len()
+        );
+    }
     DndpOutcome {
         discovered,
         shared_codes: x,

@@ -16,6 +16,7 @@
 
 use crate::params::Params;
 use jrsnd_dsss::code::CodeId;
+use jrsnd_sim::metric_counter;
 use jrsnd_sim::rng::SimRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -148,7 +149,7 @@ impl Jammer {
 
     /// Whether 𝒥 jams a HELLO spread with `code`.
     pub fn jams_hello(&self, code: CodeId, rng: &mut SimRng) -> bool {
-        match self.kind {
+        let jammed = match self.kind {
             JammerKind::None => false,
             JammerKind::Reactive => self.knows_code(code),
             JammerKind::Random => self.knows_code(code) && rng.gen_bool(self.beta),
@@ -156,13 +157,18 @@ impl Jammer {
             JammerKind::Pulsed { duty } => {
                 self.knows_code(code) && rng.gen_bool(duty.clamp(0.0, 1.0))
             }
+        };
+        metric_counter!("jammer.hello_checks").inc();
+        if jammed {
+            metric_counter!("jammer.hello_jams").inc();
         }
+        jammed
     }
 
     /// Whether 𝒥 jams at least one of the three post-HELLO messages of a
     /// sub-session on `code`.
     pub fn jams_tail(&self, code: CodeId, rng: &mut SimRng) -> bool {
-        match self.kind {
+        let jammed = match self.kind {
             JammerKind::None => false,
             JammerKind::Reactive => self.knows_code(code),
             JammerKind::Random => self.knows_code(code) && rng.gen_bool(self.beta_prime),
@@ -173,7 +179,12 @@ impl Jammer {
             JammerKind::Pulsed { duty } => {
                 self.knows_code(code) && (0..3).any(|_| rng.gen_bool(duty.clamp(0.0, 1.0)))
             }
+        };
+        metric_counter!("jammer.tail_checks").inc();
+        if jammed {
+            metric_counter!("jammer.tail_jams").inc();
         }
+        jammed
     }
 
     /// The codes 𝒥 can abuse to inject fake neighbor-discovery requests

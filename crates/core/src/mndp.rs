@@ -25,6 +25,7 @@ use jrsnd_crypto::ibc::NodeId;
 use jrsnd_crypto::nonce::Nonce;
 use jrsnd_sim::geom::Point;
 use jrsnd_sim::topology::Graph;
+use jrsnd_sim::{metric_counter, metric_histogram, sim_trace};
 use std::collections::{HashSet, VecDeque};
 
 /// Statistics from one initiator's M-NDP run.
@@ -103,6 +104,10 @@ pub fn initiate(
             continue;
         }
     }
+    metric_counter!("mndp.requests_delivered").add(stats.requests_delivered as u64);
+    metric_counter!("mndp.responses_sent").add(stats.responses_sent as u64);
+    metric_counter!("mndp.discovered").add(stats.discovered.len() as u64);
+    metric_counter!("mndp.wasted_responses").add(stats.wasted_responses as u64);
     stats
 }
 
@@ -129,7 +134,18 @@ fn process_request(
     for (i, entry) in req.chain.iter().enumerate() {
         let payload = req.signing_payload(i);
         let sig = entry.signature;
-        if !nodes[at].verify_counted(&payload, &sig) || sig.signer() != entry.id {
+        let verified = nodes[at].verify_counted(&payload, &sig);
+        if verified {
+            metric_counter!("mndp.verifications_passed").inc();
+        } else {
+            metric_counter!("mndp.verifications_failed").inc();
+            sim_trace!(
+                0.0,
+                "mndp",
+                "node {at} rejected chain entry {i}: bad signature"
+            );
+        }
+        if !verified || sig.signer() != entry.id {
             return false;
         }
     }
@@ -248,7 +264,10 @@ fn deliver_response(
         // Each intermediate verifies the accumulated response signatures.
         for (i, entry) in resp.chain.clone().iter().enumerate() {
             let payload = resp.signing_payload(i);
-            if !nodes[hop].verify_counted(&payload, &entry.signature) {
+            if nodes[hop].verify_counted(&payload, &entry.signature) {
+                metric_counter!("mndp.verifications_passed").inc();
+            } else {
+                metric_counter!("mndp.verifications_failed").inc();
                 return false;
             }
         }
@@ -268,7 +287,10 @@ fn deliver_response(
     for (i, entry) in resp.chain.iter().enumerate() {
         let payload = resp.signing_payload(i);
         let sig = entry.signature;
-        if !nodes[initiator].verify_counted(&payload, &sig) {
+        if nodes[initiator].verify_counted(&payload, &sig) {
+            metric_counter!("mndp.verifications_passed").inc();
+        } else {
+            metric_counter!("mndp.verifications_failed").inc();
             return false;
         }
     }
@@ -314,6 +336,9 @@ pub fn discover_closure(
         }
         all.extend(found);
     }
+    metric_counter!("mndp.closure_runs").inc();
+    metric_counter!("mndp.closure_discoveries").add(all.len() as u64);
+    metric_histogram!("mndp.epochs_to_fixpoint", 0.0, 16.0, 16).record(epochs as f64);
     (all, epochs)
 }
 

@@ -13,6 +13,7 @@ use crate::predist::CodeAssignment;
 use jrsnd_sim::rng::SimRng;
 use jrsnd_sim::stats::RunningStats;
 use jrsnd_sim::topology::{physical_graph, Graph};
+use jrsnd_sim::{metric_counter, sim_trace};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
@@ -194,6 +195,20 @@ pub fn run_once(config: &ExperimentConfig, seed: u64) -> RunResult {
     // 4c. Iterate to fixpoint: the steady state under periodic
     //     re-initiation (extension metric).
     let (extra, later_epochs) = mndp::discover_closure(&mut logical, &physical, params.nu);
+
+    metric_counter!("network.runs").inc();
+    metric_counter!("network.physical_pairs").add(physical.edge_count() as u64);
+    metric_counter!("network.dndp_pairs").add(dndp_pairs as u64);
+    metric_counter!("network.mndp_pairs").add(single_round.len() as u64);
+    sim_trace!(
+        0.0,
+        "network",
+        "seed {seed}: {}/{} pairs direct, {} rescued, {} steady-state extra",
+        dndp_pairs,
+        physical.edge_count(),
+        single_round.len(),
+        extra.len()
+    );
 
     RunResult {
         physical_pairs: physical.edge_count(),

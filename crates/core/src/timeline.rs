@@ -20,6 +20,7 @@ use jrsnd_sim::rng::SimRng;
 use jrsnd_sim::stats::RunningStats;
 use jrsnd_sim::time::{SimDuration, SimTime};
 use jrsnd_sim::topology::{physical_graph, Graph};
+use jrsnd_sim::{metric_counter, metric_gauge, sim_trace};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -252,6 +253,11 @@ pub fn run_timeline(config: &TimelineConfig, seed: u64) -> TimelineMetrics {
                 for (u, v) in stale {
                     logical.remove_edge(u, v);
                     metrics.expiries += 1;
+                    sim_trace!(
+                        now_s,
+                        "timeline",
+                        "link {u}-{v} expired (peer out of range)"
+                    );
                 }
                 // Track appearance times of fresh physical pairs.
                 for (u, v) in new_physical.edges() {
@@ -273,6 +279,7 @@ pub fn run_timeline(config: &TimelineConfig, seed: u64) -> TimelineMetrics {
                 metrics.coverage.push((now_s, cov));
                 if metrics.time_to_90.is_none() && cov >= 0.90 {
                     metrics.time_to_90 = Some(now_s);
+                    sim_trace!(now_s, "timeline", "coverage reached 90%");
                 }
                 eng.schedule_in(SimDuration::from_secs_f64(config.refresh), Event::Refresh);
             }
@@ -280,6 +287,10 @@ pub fn run_timeline(config: &TimelineConfig, seed: u64) -> TimelineMetrics {
         Control::Continue
     });
     metrics.events = engine.events_processed();
+    metric_counter!("timeline.runs").inc();
+    metric_counter!("timeline.discoveries").add(metrics.discoveries);
+    metric_counter!("timeline.expiries").add(metrics.expiries);
+    metric_gauge!("timeline.final_coverage").set(metrics.coverage.last().map_or(0.0, |&(_, c)| c));
     metrics
 }
 

@@ -63,6 +63,7 @@ pub struct Engine<E> {
     now: SimTime,
     events_processed: u64,
     event_budget: u64,
+    queue_high_water: usize,
 }
 
 impl<E> Default for Engine<E> {
@@ -80,6 +81,7 @@ impl<E> Engine<E> {
             now: SimTime::ZERO,
             events_processed: 0,
             event_budget: u64::MAX,
+            queue_high_water: 0,
         }
     }
 
@@ -106,6 +108,12 @@ impl<E> Engine<E> {
         self.queue.len()
     }
 
+    /// The largest number of simultaneously pending events observed so
+    /// far — a proxy for how bursty the scenario's scheduling is.
+    pub fn queue_high_water(&self) -> usize {
+        self.queue_high_water
+    }
+
     /// Schedules an event at an absolute instant.
     ///
     /// # Panics
@@ -119,12 +127,16 @@ impl<E> Engine<E> {
             self.now,
             time
         );
-        self.queue.schedule(time, payload)
+        let id = self.queue.schedule(time, payload);
+        self.queue_high_water = self.queue_high_water.max(self.queue.len());
+        id
     }
 
     /// Schedules an event `delay` after the current time.
     pub fn schedule_in(&mut self, delay: SimDuration, payload: E) -> EventId {
-        self.queue.schedule(self.now + delay, payload)
+        let id = self.queue.schedule(self.now + delay, payload);
+        self.queue_high_water = self.queue_high_water.max(self.queue.len());
+        id
     }
 
     /// Cancels a pending event. Returns `true` if it was still pending.
@@ -141,14 +153,15 @@ impl<E> Engine<E> {
     where
         F: FnMut(&mut Engine<E>, SimTime, E) -> Control,
     {
-        loop {
+        let before = self.events_processed;
+        let outcome = loop {
             match self.queue.peek_time() {
-                None => return RunOutcome::Drained,
-                Some(t) if t > horizon => return RunOutcome::HorizonReached,
+                None => break RunOutcome::Drained,
+                Some(t) if t > horizon => break RunOutcome::HorizonReached,
                 Some(_) => {}
             }
             if self.events_processed >= self.event_budget {
-                return RunOutcome::BudgetExhausted;
+                break RunOutcome::BudgetExhausted;
             }
             let (time, payload) = self.queue.pop().expect("peeked event vanished");
             self.now = time;
@@ -156,9 +169,13 @@ impl<E> Engine<E> {
             // Temporarily take the queue is unnecessary: the handler gets
             // `&mut self`, so we move the payload out first.
             if let Control::Stop = handler(self, time, payload) {
-                return RunOutcome::Stopped;
+                break RunOutcome::Stopped;
             }
-        }
+        };
+        crate::metric_counter!("engine.events_dispatched").add(self.events_processed - before);
+        crate::metric_counter!("engine.runs").inc();
+        crate::metric_gauge!("engine.queue_high_water").set_max(self.queue_high_water as f64);
+        outcome
     }
 }
 
@@ -246,6 +263,21 @@ mod tests {
             eng.schedule_at(SimTime::ZERO, ());
             Control::Continue
         });
+    }
+
+    #[test]
+    fn queue_high_water_tracks_peak_pending() {
+        let mut e = Engine::new();
+        for i in 0..4u64 {
+            e.schedule_at(SimTime::from_nanos(i), ());
+        }
+        assert_eq!(e.queue_high_water(), 4);
+        e.run(SimTime::MAX, |_, _, ()| Control::Continue);
+        // Draining does not lower the recorded peak.
+        assert_eq!(e.pending(), 0);
+        assert_eq!(e.queue_high_water(), 4);
+        let snap = crate::metrics::snapshot();
+        assert!(snap.counter("engine.events_dispatched").unwrap_or(0) >= 4);
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //! * [`topology`] — the physical-neighbor graph and the BFS/ν-hop queries
 //!   that the multi-hop discovery protocol (M-NDP) relies on;
 //! * [`stats`] — Welford accumulators, confidence intervals, sweep series,
-//!   and text/CSV tables for the experiment harness.
+//!   and text/CSV tables for the experiment harness;
+//! * [`metrics`] — a process-global observability registry (counters,
+//!   gauges, fixed-bucket histograms, opt-in trace ring buffer) with a
+//!   JSON-serializable [`metrics::MetricsSnapshot`].
 //!
 //! # Examples
 //!
@@ -46,6 +49,7 @@ pub mod engine;
 pub mod event;
 pub mod geom;
 pub mod grid;
+pub mod metrics;
 pub mod mobility;
 pub mod rng;
 pub mod stats;
@@ -54,6 +58,7 @@ pub mod topology;
 
 pub use engine::{Control, Engine, RunOutcome};
 pub use geom::{Field, Point};
+pub use metrics::MetricsSnapshot;
 pub use rng::SimRng;
 pub use stats::RunningStats;
 pub use time::{SimDuration, SimTime};

@@ -26,7 +26,7 @@ fn hash_label(label: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in label.as_bytes() {
         h ^= u64::from(*b);
-        h = h.wrapping_mul(0x1000_0000_01b3);
+        h = h.wrapping_mul(0x100_0000_01b3);
     }
     h
 }
@@ -151,6 +151,16 @@ mod tests {
     use super::*;
     use rand::Rng;
     use std::collections::HashSet;
+
+    #[test]
+    fn hash_label_matches_fnv1a_64_reference_vectors() {
+        // Known-answer vectors for FNV-1a 64 (offset basis
+        // 0xcbf29ce484222325, prime 0x100000001b3). A mistyped prime
+        // once shipped here; these pins make sure it cannot come back.
+        assert_eq!(hash_label(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash_label("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash_label("foobar"), 0x8594_4171_f739_67e8);
+    }
 
     #[test]
     fn same_seed_same_stream() {

@@ -2,7 +2,7 @@
 //! its seed — the property that makes "average of 100 seeded runs"
 //! meaningful and every figure regenerable bit-for-bit.
 
-use jr_snd::core::montecarlo::run_many;
+use jr_snd::core::montecarlo::{run_many, run_many_with_threads};
 use jr_snd::core::network::{run_once, ExperimentConfig};
 use jr_snd::core::params::Params;
 use jr_snd::core::predist::CodeAssignment;
@@ -45,6 +45,26 @@ fn run_many_is_schedule_independent() {
     assert_eq!(a.p_jrsnd.variance(), b.p_jrsnd.variance());
     assert_eq!(a.t_dndp.mean(), b.t_dndp.mean());
     assert_eq!(a.runs(), b.runs());
+}
+
+#[test]
+fn run_many_is_bitwise_identical_across_thread_counts() {
+    // The static seed sharding in `run_many` guarantees the aggregate is a
+    // pure function of (config, reps, base_seed) — the worker count must
+    // not leak into a single output bit. JSON via exact shortest-roundtrip
+    // f64 formatting makes this a byte-level assertion.
+    let cfg = config();
+    let reference = run_many_with_threads(&cfg, 7, 424_242, Some(1)).to_json();
+    for threads in [2usize, 4] {
+        let parallel = run_many_with_threads(&cfg, 7, 424_242, Some(threads)).to_json();
+        assert_eq!(
+            reference, parallel,
+            "aggregate JSON diverged at {threads} worker threads"
+        );
+    }
+    // Repeated invocation at the same thread count is the identity too.
+    let again = run_many_with_threads(&cfg, 7, 424_242, Some(4)).to_json();
+    assert_eq!(reference, again);
 }
 
 #[test]
