@@ -3,9 +3,10 @@
 //! the sliding-window scan whose cost is the paper's ρ.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jrsnd_dsss::channel::{self, ChipChannel};
 use jrsnd_dsss::chip::ChipSeq;
 use jrsnd_dsss::code::SpreadCode;
-use jrsnd_dsss::spread::{correlate_window, despread_levels, spread};
+use jrsnd_dsss::spread::{correlate_window, despread_from_channel, despread_levels, spread};
 use jrsnd_dsss::sync::{reference as sync_reference, scan, scan_all};
 use rand::{Rng, SeedableRng};
 
@@ -129,6 +130,65 @@ fn bench_scan_all_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// A busy chip medium at n = 512: eight concurrent staggered frames plus
+/// background noise — the workload named in the ISSUE acceptance criteria.
+fn busy_channel(n: usize) -> (ChipChannel, usize) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let codes: Vec<SpreadCode> = (0..8).map(|_| SpreadCode::random(n, &mut rng)).collect();
+    let msg: Vec<bool> = (0..16).map(|i| i % 3 != 0).collect();
+    let mut chan = ChipChannel::new(0xC0FFEE).with_noise(0.05);
+    for (i, code) in codes.iter().enumerate() {
+        chan.transmit(
+            (i * 700) as u64,
+            spread(&msg, code),
+            if i % 2 == 0 { 1 } else { 2 },
+        );
+    }
+    let window = msg.len() * n; // 8192 chips spans every transmission
+    (chan, window)
+}
+
+/// The tentpole benchmark: blocked word-parallel channel rendering vs the
+/// chip-at-a-time scalar oracle, on the same 8-transmission noisy medium.
+fn bench_channel_render(c: &mut Criterion) {
+    let (chan, window) = busy_channel(512);
+    let mut group = c.benchmark_group("channel_render");
+    group.throughput(Throughput::Elements(window as u64));
+    group.bench_function("packed_n512_tx8_noisy", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            chan.render_into(&mut buf, 0, window);
+            black_box(buf.last().copied())
+        })
+    });
+    group.bench_function("reference_n512_tx8_noisy", |b| {
+        b.iter(|| black_box(channel::reference::render(&chan, 0, window)))
+    });
+    group.finish();
+}
+
+/// Fused render→despread against materialise-then-despread: same decisions,
+/// but the fused path touches one n-chip scratch window per bit period.
+fn bench_fused_despread(c: &mut Criterion) {
+    let (chan, window) = busy_channel(512);
+    // Same seed as busy_channel: this is the code of the frame at chip 0.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let code = SpreadCode::random(512, &mut rng);
+    let n_bits = window / 512;
+    let mut group = c.benchmark_group("fused_despread");
+    group.throughput(Throughput::Elements(window as u64));
+    group.bench_function("fused_16bits_n512", |b| {
+        b.iter(|| black_box(despread_from_channel(&chan, 0, &code, n_bits, 0.15)))
+    });
+    group.bench_function("materialised_16bits_n512", |b| {
+        b.iter(|| {
+            let samples = chan.render(0, window);
+            black_box(despread_levels(&samples, &code, 0.15))
+        })
+    });
+    group.finish();
+}
+
 fn bench_gold_codes(c: &mut Criterion) {
     use jrsnd_dsss::gold::GoldFamily;
     let mut group = c.benchmark_group("gold");
@@ -152,6 +212,8 @@ criterion_group!(
     bench_spread_despread,
     bench_sliding_scan,
     bench_scan_all_throughput,
+    bench_channel_render,
+    bench_fused_despread,
     bench_gold_codes
 );
 criterion_main!(benches);

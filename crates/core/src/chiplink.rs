@@ -16,7 +16,7 @@ use jrsnd_crypto::ibc::{Authority, NodeId};
 use jrsnd_dsss::channel::ChipChannel;
 use jrsnd_dsss::code::{CodeId, SpreadCode};
 use jrsnd_dsss::correlate::MultiCorrelator;
-use jrsnd_dsss::spread::spread;
+use jrsnd_dsss::spread::{despread_from_channel, spread};
 use jrsnd_dsss::sync::{decode_frame, scan_from};
 use jrsnd_ecc::expand::ExpansionCode;
 use jrsnd_sim::rng::SimRng;
@@ -105,7 +105,6 @@ fn transmit_and_receive(
     let coded = ecc.encode_bits(message_bits).expect("non-empty message");
     let chips = spread(&coded, code);
     let n = code.len();
-    let total_chips = chips.len();
     let mut channel = ChipChannel::new(noise_seed);
     channel.transmit(0, chips, 1);
     if let Some(j) = jammer.filter(|j| j.attacks(message_index)) {
@@ -123,11 +122,12 @@ fn transmit_and_receive(
             );
         }
     }
-    let samples = channel.render(0, total_chips);
-    let decoded = decode_frame(&samples, 0, code, coded.len(), tau).and_then(|frame| {
-        ecc.decode_bits(&frame.bits, &frame.erased, message_bits.len())
-            .ok()
-    });
+    // Fused render→despread: the receiver is bit-synchronized to its own
+    // frame, so each bit window is rendered straight into the correlator
+    // without materialising the full sample vector. Decisions are
+    // bit-identical to render-then-`decode_frame`.
+    let (bits, erased) = despread_from_channel(&channel, 0, code, coded.len(), tau);
+    let decoded = ecc.decode_bits(&bits, &erased, message_bits.len()).ok();
     if decoded.is_some() {
         metric_counter!("dsss.frames_decoded").inc();
     } else {
@@ -215,7 +215,10 @@ pub fn run_handshake(
             }
         }
     }
-    let buffer = channel.render(0, msg_chips * a_codes.len());
+    // One reused sample buffer per link: B's buffering window is rendered
+    // into it once, and the bank scanner borrows it for every resumed scan.
+    let mut buffer = Vec::new();
+    channel.render_into(&mut buffer, 0, msg_chips * a_codes.len());
     let b_refs: Vec<&SpreadCode> = b_codes.iter().collect();
     // One code bank and one prefix-sum pass over the buffer serve every
     // resumed scan below (the batched kernel in jrsnd_dsss::correlate).

@@ -300,6 +300,72 @@ fn deliver_response(
     }
 }
 
+/// Chip-level check of the closing HELLO (Section V-C, final step): the
+/// responder transmits `{HELLO}_{C_BA}` spread with the freshly derived
+/// session code, and the source listens with a *receiver bank* over every
+/// outstanding session code (one per pending M-NDP response), despreading
+/// through the fused render→despread path — each bit window is rendered
+/// once and correlated against the whole bank, never materialising the
+/// full sample vector.
+///
+/// `hello_bits` is the frame content the source expects for this
+/// initiation (it derived the session key itself, so it knows the HELLO it
+/// is waiting for). Returns the index of the candidate code that decoded
+/// the HELLO cleanly, or `None` — e.g. when the responder is out of range
+/// (the caller models that by not transmitting, i.e. `amplitude == None`)
+/// or its code is not in the bank.
+///
+/// # Panics
+///
+/// Panics if `hello_bits` or `candidates` is empty, or the session code's
+/// length differs from the bank's.
+pub fn closing_hello_heard(
+    hello_bits: &[bool],
+    session_code: &jrsnd_dsss::code::SpreadCode,
+    candidates: &[&jrsnd_dsss::code::SpreadCode],
+    amplitude: Option<i32>,
+    noise: f64,
+    noise_seed: u64,
+    tau: f64,
+) -> Option<usize> {
+    use jrsnd_dsss::channel::ChipChannel;
+    use jrsnd_dsss::correlate::{FusedDespreader, MultiCorrelator};
+    use jrsnd_dsss::spread::{decide, spread};
+
+    assert!(!hello_bits.is_empty(), "empty closing HELLO");
+    assert!(!candidates.is_empty(), "empty session-code bank");
+    let bank = MultiCorrelator::new(candidates);
+    let n = bank.code_len();
+    assert_eq!(
+        session_code.len(),
+        n,
+        "session code length differs from bank"
+    );
+
+    let mut channel = ChipChannel::new(noise_seed).with_noise(noise);
+    if let Some(amp) = amplitude {
+        channel.transmit(0, spread(hello_bits, session_code), amp);
+    }
+    let mut fused = FusedDespreader::new(&bank);
+    let mut corr = vec![0.0f64; bank.num_codes()];
+    let mut alive = vec![true; bank.num_codes()];
+    for (j, &expected) in hello_bits.iter().enumerate() {
+        fused.correlate_at(&channel, (j * n) as u64, &mut corr);
+        for (c, &cr) in corr.iter().enumerate() {
+            if decide(cr, tau).bit() != Some(expected) {
+                alive[c] = false;
+            }
+        }
+    }
+    let heard = alive.iter().position(|&a| a);
+    if heard.is_some() {
+        metric_counter!("mndp.closing_hellos_heard").inc();
+    } else {
+        metric_counter!("mndp.closing_hellos_missed").inc();
+    }
+    heard
+}
+
 /// One closure pass of the graph-level shortcut: every physical pair not
 /// yet logical that is connected by a logical path of at most `nu` hops
 /// gets discovered. Returns `(u, v, hops)` triples (edges NOT yet added).
@@ -484,6 +550,39 @@ mod tests {
         assert!(!accepted);
         assert!(stats.discovered.is_empty());
         assert!(queue.is_empty(), "invalid requests must not propagate");
+    }
+
+    #[test]
+    fn closing_hello_is_heard_through_the_session_code_bank() {
+        use jrsnd_dsss::code::SpreadCode;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(40);
+        let codes: Vec<SpreadCode> = (0..5).map(|_| SpreadCode::random(512, &mut rng)).collect();
+        let refs: Vec<&SpreadCode> = codes.iter().collect();
+        let hello: Vec<bool> = (0..24).map(|i| i % 3 != 0).collect();
+        // The responder's session code is candidate 3 of A's pending bank.
+        let heard = closing_hello_heard(&hello, &codes[3], &refs, Some(1), 0.02, 7, 0.15);
+        assert_eq!(heard, Some(3));
+    }
+
+    #[test]
+    fn closing_hello_with_foreign_code_is_missed() {
+        use jrsnd_dsss::code::SpreadCode;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let codes: Vec<SpreadCode> = (0..4).map(|_| SpreadCode::random(512, &mut rng)).collect();
+        let refs: Vec<&SpreadCode> = codes[..3].iter().collect();
+        let hello: Vec<bool> = (0..24).map(|i| i % 2 == 0).collect();
+        // Responder spreads with a code A is not waiting for.
+        assert_eq!(
+            closing_hello_heard(&hello, &codes[3], &refs, Some(1), 0.02, 8, 0.15),
+            None
+        );
+        // Out of range: nothing transmitted, only noise.
+        assert_eq!(
+            closing_hello_heard(&hello, &codes[0], &refs, None, 0.02, 9, 0.15),
+            None
+        );
     }
 
     #[test]

@@ -6,8 +6,58 @@
 //! typically spreading garbage bits with a (hopefully compromised) code at
 //! equal or higher amplitude, which drives the victim's per-bit correlation
 //! below the threshold τ.
+//!
+//! Rendering is the hot path of every chip-level experiment, so it is a
+//! blocked, word-parallel kernel: transmissions are kept sorted by start
+//! chip (the scan over them stops at the first one past the window),
+//! superposition reads 64 packed chips at a time via [`ChipSeq::word_at`]
+//! and expands them with the same branchless sign-select as
+//! [`ChipSeq::dot_levels`], and ambient noise is drawn from one SplitMix64
+//! stream per 64-chip block instead of one full hash per chip. The original
+//! chip-at-a-time loop survives verbatim in [`reference`] as the
+//! correctness oracle; proptests assert the two render byte-identical
+//! samples, noise included, across arbitrary window boundaries.
 
 use crate::chip::ChipSeq;
+use jrsnd_sim::metric_counter;
+
+/// SplitMix64's golden-ratio increment, used to key noise streams.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The SplitMix64 output mix (finalizer) — three xor-multiply rounds.
+#[inline]
+fn splitmix_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic per-chip noise in {−1, 0, +1}.
+///
+/// Chips are keyed by `(block, lane)` with `block = chip / 64`: each
+/// 64-chip block owns one SplitMix64 stream (state `seed ^ block·G`,
+/// advanced by `G` per lane), so the blocked renderer seeds once per block
+/// while any single chip is still computable in O(1) — rendering any range
+/// any number of times yields identical samples regardless of alignment.
+#[inline]
+fn noise_chip(seed: u64, threshold: u64, chip: u64) -> i32 {
+    if threshold == 0 {
+        return 0;
+    }
+    let block = chip / 64;
+    let lane = chip % 64;
+    let x = (seed ^ block.wrapping_mul(GOLDEN)).wrapping_add((lane + 1).wrapping_mul(GOLDEN));
+    let z = splitmix_mix(x);
+    if u64::from(z as u32) < threshold {
+        if z & (1 << 40) != 0 {
+            1
+        } else {
+            -1
+        }
+    } else {
+        0
+    }
+}
 
 /// One scheduled transmission on the medium.
 #[derive(Debug, Clone)]
@@ -15,6 +65,12 @@ struct Transmission {
     start_chip: u64,
     chips: ChipSeq,
     amplitude: i32,
+}
+
+impl Transmission {
+    fn end_chip(&self) -> u64 {
+        self.start_chip + self.chips.len() as u64
+    }
 }
 
 /// A chip-synchronous shared medium.
@@ -42,10 +98,15 @@ struct Transmission {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ChipChannel {
+    /// Sorted by `start_chip` (ties keep insertion order). The sum over
+    /// transmissions is exact integer addition, so the evaluation order
+    /// never changes the rendered samples — sorting is purely a scan-cost
+    /// optimisation.
     transmissions: Vec<Transmission>,
     noise_seed: u64,
-    /// Probability (in 1/2^32 units) that a chip gets ±1 ambient noise.
-    noise_prob_u32: u32,
+    /// Probability threshold in 1/2^32 units, held in `u64` so `p = 1.0`
+    /// maps to exactly 2^32 ("every chip") — a `u32` cannot express that.
+    noise_threshold: u64,
 }
 
 impl ChipChannel {
@@ -55,19 +116,19 @@ impl ChipChannel {
         ChipChannel {
             transmissions: Vec::new(),
             noise_seed,
-            noise_prob_u32: 0,
+            noise_threshold: 0,
         }
     }
 
     /// Enables ambient noise: each chip independently receives a ±1
-    /// contribution with probability `p`.
+    /// contribution with probability `p`. `p = 1.0` means every chip.
     ///
     /// # Panics
     ///
     /// Panics unless `0.0 <= p <= 1.0`.
     pub fn with_noise(mut self, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "noise probability out of range");
-        self.noise_prob_u32 = (p * f64::from(u32::MAX)) as u32;
+        self.noise_threshold = (p * 4_294_967_296.0) as u64;
         self
     }
 
@@ -80,11 +141,19 @@ impl ChipChannel {
     /// Panics if `amplitude == 0`.
     pub fn transmit(&mut self, start_chip: u64, chips: ChipSeq, amplitude: i32) {
         assert!(amplitude != 0, "amplitude must be nonzero");
-        self.transmissions.push(Transmission {
-            start_chip,
-            chips,
-            amplitude,
-        });
+        // Sorted insert so rendering can stop scanning at the first
+        // transmission starting past its window.
+        let at = self
+            .transmissions
+            .partition_point(|t| t.start_chip <= start_chip);
+        self.transmissions.insert(
+            at,
+            Transmission {
+                start_chip,
+                chips,
+                amplitude,
+            },
+        );
     }
 
     /// Number of scheduled transmissions.
@@ -92,33 +161,139 @@ impl ChipChannel {
         self.transmissions.len()
     }
 
-    /// Deterministic per-chip noise in {−1, 0, +1}.
-    fn noise_at(&self, chip: u64) -> i32 {
-        if self.noise_prob_u32 == 0 {
-            return 0;
-        }
-        // SplitMix64 of (seed, chip) — stateless, so rendering any range
-        // any number of times yields identical samples.
-        let mut z = self.noise_seed ^ chip.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        if (z as u32) < self.noise_prob_u32 {
-            if z & (1 << 40) != 0 {
-                1
-            } else {
-                -1
-            }
-        } else {
-            0
-        }
+    /// Drops every transmission that ended at or before the `watermark`
+    /// chip, so long-lived channels (timeline experiments) stop re-scanning
+    /// dead transmissions on every render. Returns how many were retired.
+    ///
+    /// The determinism contract is unchanged for any window that starts at
+    /// or after the watermark: retired transmissions could not contribute a
+    /// single chip there, and ambient noise is stateless (keyed by absolute
+    /// chip index), so such renders are byte-identical before and after the
+    /// call. Windows reaching *before* the watermark lose the retired
+    /// signals, as intended.
+    pub fn retire_before(&mut self, watermark: u64) -> usize {
+        let before = self.transmissions.len();
+        // `retain` is stable, so the sorted-by-start order is preserved.
+        self.transmissions.retain(|t| t.end_chip() > watermark);
+        before - self.transmissions.len()
     }
 
     /// Samples `len` chips starting at absolute index `start`.
     pub fn render(&self, start: u64, len: usize) -> Vec<i32> {
-        let mut out: Vec<i32> = (0..len as u64).map(|i| self.noise_at(start + i)).collect();
+        let mut out = Vec::new();
+        self.render_into(&mut out, start, len);
+        out
+    }
+
+    /// [`ChipChannel::render`] into a caller-owned buffer, so a receiver
+    /// evaluating many windows (or many links) reuses one allocation. The
+    /// buffer is cleared first — any previous contents are irrelevant to
+    /// the rendered samples.
+    pub fn render_into(&self, out: &mut Vec<i32>, start: u64, len: usize) {
+        if len > 0 && out.capacity() >= len {
+            metric_counter!("dsss.render_buffers_reused").inc();
+        }
+        out.clear();
+        out.resize(len, 0);
+        metric_counter!("dsss.chips_rendered").add(len as u64);
+        if len == 0 {
+            return;
+        }
+        if self.noise_threshold != 0 {
+            self.fill_noise(out, start);
+        }
         let end = start + len as u64;
         for tx in &self.transmissions {
+            if tx.start_chip >= end {
+                break; // sorted by start: nothing later can overlap
+            }
+            if tx.end_chip() <= start {
+                continue;
+            }
+            Self::add_transmission(out, start, tx);
+        }
+    }
+
+    /// Writes ±1 ambient noise over the zeroed buffer, one block stream at
+    /// a time: the per-block SplitMix64 state is seeded once and advanced
+    /// by one golden-ratio add + mix per chip.
+    fn fill_noise(&self, out: &mut [i32], start: u64) {
+        let thr = self.noise_threshold;
+        let len = out.len();
+        let mut i = 0usize;
+        while i < len {
+            let chip = start + i as u64;
+            let block = chip / 64;
+            let lane = chip % 64;
+            let take = (64 - lane as usize).min(len - i);
+            let base = self.noise_seed ^ block.wrapping_mul(GOLDEN);
+            let mut x = base.wrapping_add((lane + 1).wrapping_mul(GOLDEN));
+            for slot in &mut out[i..i + take] {
+                let z = splitmix_mix(x);
+                x = x.wrapping_add(GOLDEN);
+                if u64::from(z as u32) < thr {
+                    *slot = if z & (1 << 40) != 0 { 1 } else { -1 };
+                }
+            }
+            i += take;
+        }
+    }
+
+    /// Superposes one transmission's overlap with the window, 64 chips per
+    /// word read. `e = 0` for a +1 chip and `−1` for a −1 chip, so
+    /// `(amp ^ e) − e` is ±amp branch-free (the [`ChipSeq::dot_levels`]
+    /// sign-select), which auto-vectorizes.
+    fn add_transmission(out: &mut [i32], start: u64, tx: &Transmission) {
+        let end = start + out.len() as u64;
+        let from = tx.start_chip.max(start);
+        let to = tx.end_chip().min(end);
+        let amp = tx.amplitude;
+        let mut rel = (from - tx.start_chip) as usize;
+        let mut oi = (from - start) as usize;
+        let mut remaining = (to - from) as usize;
+        while remaining >= 64 {
+            let w = tx.chips.word_at(rel);
+            for (k, slot) in out[oi..oi + 64].iter_mut().enumerate() {
+                let e = (((w >> k) & 1) as i32).wrapping_sub(1);
+                *slot += (amp ^ e) - e;
+            }
+            rel += 64;
+            oi += 64;
+            remaining -= 64;
+        }
+        if remaining > 0 {
+            let w = tx.chips.word_at(rel);
+            for (k, slot) in out[oi..oi + remaining].iter_mut().enumerate() {
+                let e = (((w >> k) & 1) as i32).wrapping_sub(1);
+                *slot += (amp ^ e) - e;
+            }
+        }
+    }
+
+    /// Per-chip noise — exposed for the oracle and boundary tests.
+    #[cfg(test)]
+    fn noise_at(&self, chip: u64) -> i32 {
+        noise_chip(self.noise_seed, self.noise_threshold, chip)
+    }
+}
+
+/// The chip-at-a-time renderer, kept verbatim from before the word-parallel
+/// rewrite as the correctness oracle.
+///
+/// Proptests and the kernel-equivalence suite assert that
+/// [`ChipChannel::render`] reproduces it byte-for-byte (noise included,
+/// across arbitrary window boundaries). Not used on any hot path.
+pub mod reference {
+    use super::{noise_chip, ChipChannel};
+
+    /// Chip-at-a-time [`ChipChannel::render`]: one noise evaluation and one
+    /// `ChipSeq::chip` bit extraction per chip, full transmission scan.
+    pub fn render(channel: &ChipChannel, start: u64, len: usize) -> Vec<i32> {
+        let mut out: Vec<i32> = (0..len as u64)
+            .map(|i| noise_chip(channel.noise_seed, channel.noise_threshold, start + i))
+            .collect();
+        let end = start + len as u64;
+        for tx in &channel.transmissions {
             let tx_end = tx.start_chip + tx.chips.len() as u64;
             if tx_end <= start || tx.start_chip >= end {
                 continue;
@@ -256,6 +431,39 @@ mod tests {
     }
 
     #[test]
+    fn full_noise_probability_covers_every_chip() {
+        // Regression: p = 1.0 must mean *every* chip gets ±1 noise — the
+        // old `(p · u32::MAX) as u32` threshold with a strict `<` left a
+        // handful of chips noiseless.
+        let ch = ChipChannel::new(3).with_noise(1.0);
+        let samples = ch.render(0, 50_000);
+        assert!(
+            samples.iter().all(|&s| s == 1 || s == -1),
+            "p = 1.0 left chips noiseless"
+        );
+        // And both signs occur.
+        assert!(samples.contains(&1) && samples.contains(&-1));
+    }
+
+    #[test]
+    fn noise_matches_per_chip_evaluation() {
+        // The blocked stream and the O(1) per-chip formula are the same
+        // noise, at every lane of a block and across block boundaries.
+        let ch = ChipChannel::new(77).with_noise(0.3);
+        for start in [0u64, 1, 63, 64, 100, 127, 1000] {
+            let rendered = ch.render(start, 200);
+            for (i, &s) in rendered.iter().enumerate() {
+                assert_eq!(
+                    s,
+                    ch.noise_at(start + i as u64),
+                    "chip {}",
+                    start + i as u64
+                );
+            }
+        }
+    }
+
+    #[test]
     fn decoding_survives_light_noise() {
         let mut r = rng(5);
         let code = SpreadCode::random(512, &mut r);
@@ -269,9 +477,161 @@ mod tests {
     }
 
     #[test]
+    fn subrange_renders_are_byte_identical() {
+        // One call vs. two adjacent sub-range calls must agree chip for
+        // chip, including with noise enabled and splits that are not
+        // 64-aligned (block boundaries must not leak into the samples).
+        let mut r = rng(11);
+        let code = SpreadCode::random(256, &mut r);
+        let msg: Vec<bool> = (0..16).map(|i| i % 3 != 0).collect();
+        let mut ch = ChipChannel::new(5).with_noise(0.1);
+        ch.transmit(100, spread(&msg, &code), 2);
+        ch.transmit(700, spread(&msg, &code), -1);
+        let len = 16 * 256 + 400;
+        let whole = ch.render(50, len);
+        for split in [1usize, 63, 64, 65, 1000, 1001, len - 1] {
+            let mut parts = ch.render(50, split);
+            parts.extend(ch.render(50 + split as u64, len - split));
+            assert_eq!(whole, parts, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn render_into_ignores_dirty_buffers() {
+        let mut r = rng(12);
+        let code = SpreadCode::random(128, &mut r);
+        let mut ch = ChipChannel::new(13).with_noise(0.07);
+        ch.transmit(30, spread(&[true, false, true], &code), 1);
+        let clean = ch.render(0, 600);
+        let mut dirty = vec![i32::MAX; 4096]; // longer than the render, garbage contents
+        ch.render_into(&mut dirty, 0, 600);
+        assert_eq!(dirty, clean);
+        // And a shorter dirty buffer grows correctly.
+        let mut short = vec![-7i32; 3];
+        ch.render_into(&mut short, 0, 600);
+        assert_eq!(short, clean);
+    }
+
+    #[test]
+    fn retire_before_drops_only_dead_transmissions() {
+        let mut ch = ChipChannel::new(0);
+        ch.transmit(0, ChipSeq::from_bits(&[true; 64]), 1); // ends at 64
+        ch.transmit(50, ChipSeq::from_bits(&[true; 64]), 1); // ends at 114
+        ch.transmit(200, ChipSeq::from_bits(&[true; 64]), 1); // ends at 264
+        let after = ch.render(100, 200);
+        assert_eq!(ch.retire_before(100), 1, "only the first one is dead");
+        assert_eq!(ch.transmission_count(), 2);
+        // Windows at or after the watermark are byte-identical.
+        assert_eq!(ch.render(100, 200), after);
+        assert_eq!(ch.retire_before(300), 2);
+        assert!(ch.render(300, 50).iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn retire_before_keeps_noise_unchanged() {
+        let mut ch = ChipChannel::new(21).with_noise(0.2);
+        ch.transmit(0, ChipSeq::from_bits(&[true; 32]), 1);
+        let before = ch.render(64, 512);
+        ch.retire_before(64);
+        assert_eq!(ch.render(64, 512), before);
+    }
+
+    #[test]
+    fn packed_render_matches_reference_with_many_transmissions() {
+        let mut r = rng(14);
+        let codes: Vec<SpreadCode> = (0..4).map(|_| SpreadCode::random(512, &mut r)).collect();
+        let mut ch = ChipChannel::new(99).with_noise(0.05);
+        for (i, code) in codes.iter().enumerate() {
+            let msg: Vec<bool> = (0..6).map(|b| (b + i) % 2 == 0).collect();
+            ch.transmit((i * 777) as u64, spread(&msg, code), (i as i32 % 3) - 4);
+        }
+        for (start, len) in [(0u64, 8000usize), (1, 100), (770, 3000), (5000, 1)] {
+            assert_eq!(
+                ch.render(start, len),
+                reference::render(&ch, start, len),
+                "start {start} len {len}"
+            );
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "amplitude must be nonzero")]
     fn zero_amplitude_rejected() {
         let mut ch = ChipChannel::new(0);
         ch.transmit(0, ChipSeq::from_bits(&[true]), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::chip::ChipSeq;
+    use proptest::prelude::*;
+
+    /// A random channel: up to 8 transmissions with arbitrary starts,
+    /// lengths, and (nonzero) amplitudes, plus optional noise.
+    fn arb_channel() -> impl Strategy<Value = ChipChannel> {
+        (
+            any::<u64>(),
+            prop_oneof![Just(None), (0.0f64..1.0).prop_map(Some)],
+            proptest::collection::vec(
+                (
+                    0u64..4000,
+                    proptest::collection::vec(any::<bool>(), 1..500),
+                    prop_oneof![-8i32..0, 1i32..=8],
+                ),
+                0..8,
+            ),
+        )
+            .prop_map(|(seed, noise, txs)| {
+                let mut ch = ChipChannel::new(seed);
+                if let Some(p) = noise {
+                    ch = ch.with_noise(p);
+                }
+                for (start, bits, amp) in txs {
+                    ch.transmit(start, ChipSeq::from_bits(&bits), amp);
+                }
+                ch
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn packed_render_matches_reference(
+            ch in arb_channel(),
+            start in 0u64..5000,
+            len in 0usize..2000,
+        ) {
+            let packed = ch.render(start, len);
+            let oracle = reference::render(&ch, start, len);
+            prop_assert_eq!(packed, oracle);
+        }
+
+        #[test]
+        fn split_renders_match_whole(
+            ch in arb_channel(),
+            start in 0u64..3000,
+            len in 1usize..1500,
+            split_frac in 0.0f64..1.0,
+        ) {
+            let whole = ch.render(start, len);
+            let split = ((len as f64 * split_frac) as usize).min(len);
+            let mut parts = ch.render(start, split);
+            parts.extend(ch.render(start + split as u64, len - split));
+            prop_assert_eq!(whole, parts);
+        }
+
+        #[test]
+        fn render_into_reuse_is_transparent(
+            ch in arb_channel(),
+            windows in proptest::collection::vec((0u64..4000, 0usize..1200), 1..5),
+        ) {
+            let mut buf = Vec::new();
+            for (start, len) in windows {
+                ch.render_into(&mut buf, start, len);
+                prop_assert_eq!(&buf, &ch.render(start, len));
+            }
+        }
     }
 }

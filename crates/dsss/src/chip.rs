@@ -83,6 +83,34 @@ impl ChipSeq {
         &self.words
     }
 
+    /// 64 packed chips starting at chip `offset`, as one little-endian word
+    /// (`bit k ↔ chip offset + k`) — the unaligned word read behind the
+    /// word-parallel channel renderer.
+    ///
+    /// Bits past [`ChipSeq::len`] are zero; they carry no chip meaning, so
+    /// a caller rendering near the end of the sequence must stop at `len`
+    /// rather than interpret the padding as −1 chips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= len`.
+    #[inline]
+    pub fn word_at(&self, offset: usize) -> u64 {
+        assert!(
+            offset < self.len,
+            "chip offset {offset} out of range {}",
+            self.len
+        );
+        let q = offset / 64;
+        let sh = offset % 64;
+        let lo = self.words[q] >> sh;
+        if sh == 0 {
+            lo
+        } else {
+            lo | (self.words.get(q + 1).copied().unwrap_or(0) << (64 - sh))
+        }
+    }
+
     /// The dot product `Σ sᵢ·cᵢ` of soft samples with this ±1 sequence —
     /// the bit-parallel correlation kernel.
     ///
@@ -272,6 +300,29 @@ mod tests {
             *b = false;
         }
         assert_eq!(a.correlate(&ChipSeq::from_bits(&half)), 0.0);
+    }
+
+    #[test]
+    fn word_at_matches_bit_extraction() {
+        let bits: Vec<bool> = (0..200).map(|i| (i * 7 + 3) % 5 < 2).collect();
+        let seq = ChipSeq::from_bits(&bits);
+        for offset in [0usize, 1, 17, 63, 64, 65, 127, 130, 150, 199] {
+            let w = seq.word_at(offset);
+            for k in 0..64 {
+                let expected = if offset + k < seq.len() {
+                    seq.bit(offset + k)
+                } else {
+                    false // padding reads as zero
+                };
+                assert_eq!((w >> k) & 1 == 1, expected, "offset {offset} lane {k}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn word_at_past_end_panics() {
+        ChipSeq::from_bits(&[true; 10]).word_at(10);
     }
 
     #[test]

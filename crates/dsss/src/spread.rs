@@ -6,6 +6,7 @@
 //! with the code: correlation ≥ τ ⇒ bit 1, ≤ −τ ⇒ bit 0, otherwise the bit
 //! is unreliable (an *erasure* for the ECC layer).
 
+use crate::channel::ChipChannel;
 use crate::chip::ChipSeq;
 use crate::code::SpreadCode;
 
@@ -169,6 +170,67 @@ pub fn despread_levels(samples: &[i32], code: &SpreadCode, tau: f64) -> (Vec<boo
     (bits, erased)
 }
 
+/// De-spreads an `n_bits`-bit frame (starting at absolute chip `start`,
+/// exactly on a bit boundary) straight off a [`ChipChannel`] — the fused
+/// render→despread path.
+///
+/// Bit decisions are identical to `channel.render(start, n_bits · N)`
+/// followed by [`despread_levels`], but only one `N`-chip window is ever
+/// materialised: each bit period is rendered into a reused scratch buffer
+/// and fed to the bank correlator ([`crate::correlate::FusedDespreader`])
+/// in the same pass, so the receiver's memory stays `O(N)` no matter how
+/// long the frame is.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_dsss::channel::ChipChannel;
+/// use jrsnd_dsss::code::SpreadCode;
+/// use jrsnd_dsss::spread::{despread_from_channel, spread, DEFAULT_TAU};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let code = SpreadCode::random(512, &mut rng);
+/// let msg = [true, false, false, true];
+/// let mut ch = ChipChannel::new(1).with_noise(0.02);
+/// ch.transmit(2048, spread(&msg, &code), 1);
+/// let (bits, erased) = despread_from_channel(&ch, 2048, &code, 4, DEFAULT_TAU);
+/// assert_eq!(bits, msg);
+/// assert!(erased.iter().all(|&e| !e));
+/// ```
+pub fn despread_from_channel(
+    channel: &ChipChannel,
+    start: u64,
+    code: &SpreadCode,
+    n_bits: usize,
+    tau: f64,
+) -> (Vec<bool>, Vec<bool>) {
+    let n = code.len();
+    let bank = crate::correlate::MultiCorrelator::new(&[code]);
+    let mut fused = crate::correlate::FusedDespreader::new(&bank);
+    let mut bits = Vec::with_capacity(n_bits);
+    let mut erased = Vec::with_capacity(n_bits);
+    let mut corr = [0.0f64];
+    for j in 0..n_bits {
+        fused.correlate_at(channel, start + (j * n) as u64, &mut corr);
+        match decide(corr[0], tau) {
+            BitDecision::One => {
+                bits.push(true);
+                erased.push(false);
+            }
+            BitDecision::Zero => {
+                bits.push(false);
+                erased.push(false);
+            }
+            BitDecision::Erased => {
+                bits.push(false);
+                erased.push(true);
+            }
+        }
+    }
+    (bits, erased)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +326,26 @@ mod tests {
     }
 
     #[test]
+    fn fused_despread_matches_materialised_path() {
+        // The fused path must reproduce render-everything-then-despread
+        // decision for decision, including under same-code jamming and
+        // ambient noise, at an unaligned start offset.
+        let mut r = rng(6);
+        let code = SpreadCode::random(256, &mut r);
+        let msg: Vec<bool> = (0..24).map(|i| i % 3 == 0).collect();
+        let start = 777u64;
+        let mut ch = ChipChannel::new(17).with_noise(0.05);
+        ch.transmit(start, spread(&msg, &code), 1);
+        let garbage: Vec<bool> = (0..12).map(|i| i % 2 == 0).collect();
+        ch.transmit(start + 12 * 256, spread(&garbage, &code), 2);
+        let samples = ch.render(start, 24 * 256);
+        let (want_bits, want_erased) = despread_levels(&samples, &code, DEFAULT_TAU);
+        let (bits, erased) = despread_from_channel(&ch, start, &code, 24, DEFAULT_TAU);
+        assert_eq!(bits, want_bits);
+        assert_eq!(erased, want_erased);
+    }
+
+    #[test]
     #[should_panic(expected = "not a multiple")]
     fn misaligned_despread_panics() {
         let mut r = rng(5);
@@ -293,6 +375,33 @@ mod proptests {
             let (bits, erased) = despread_levels(&levels, &code, DEFAULT_TAU);
             prop_assert_eq!(bits, msg);
             prop_assert!(erased.iter().all(|&e| !e));
+        }
+
+        #[test]
+        fn fused_despread_equals_materialised(
+            seed in 0u64..1000,
+            msg in proptest::collection::vec(any::<bool>(), 1..40),
+            start in 0u64..2000,
+            noise in prop_oneof![Just(None), (0.0f64..1.0).prop_map(Some)],
+            jam_amp in prop_oneof![Just(None), (1i32..=4).prop_map(Some)],
+        ) {
+            let n = 128usize;
+            let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+            let code = SpreadCode::random(n, &mut r);
+            let mut ch = ChipChannel::new(seed ^ 0xABCD);
+            if let Some(p) = noise {
+                ch = ch.with_noise(p);
+            }
+            ch.transmit(start, spread(&msg, &code), 1);
+            if let Some(amp) = jam_amp {
+                // Same-code jammer over the second half of the frame.
+                let garbage: Vec<bool> = msg.iter().map(|&b| !b).collect();
+                ch.transmit(start + (msg.len() / 2 * n) as u64, spread(&garbage, &code), amp);
+            }
+            let samples = ch.render(start, msg.len() * n);
+            let want = despread_levels(&samples, &code, DEFAULT_TAU);
+            let got = despread_from_channel(&ch, start, &code, msg.len(), DEFAULT_TAU);
+            prop_assert_eq!(got, want);
         }
     }
 }
