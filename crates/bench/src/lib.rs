@@ -1042,7 +1042,8 @@ pub fn baselines() -> FigureOutput {
 /// jammer scenarios. This is the experiment that exercises the `dsss.*`,
 /// `chiplink.*`, and chip-granular `jammer.*` metrics.
 pub fn chiplevel(seed: u64) -> FigureOutput {
-    use jrsnd::chiplink::{run_handshake, ChipJammer, Stage};
+    use jrsnd::chiplink::{run_handshake_with, ChipJammer, Stage};
+    use jrsnd::messages::FrameCodec;
     use jrsnd_crypto::ibc::Authority;
     use jrsnd_dsss::code::SpreadCode;
     use rand::rngs::StdRng;
@@ -1092,8 +1093,12 @@ pub fn chiplevel(seed: u64) -> FigureOutput {
         "scan correlations".into(),
         "sync retries".into(),
     ]);
+    // One ECC codec (tables + scratch) shared by all four scenarios: after
+    // the first handshake warms it up, the remaining runs do zero ECC
+    // allocations.
+    let mut codec = FrameCodec::new(params.mu).expect("Table 1 mu is valid");
     for (i, (name, jammer)) in scenarios.iter().enumerate() {
-        let report = run_handshake(
+        let report = run_handshake_with(
             &params,
             &authority,
             &a_codes,
@@ -1102,6 +1107,7 @@ pub fn chiplevel(seed: u64) -> FigureOutput {
             1,
             jammer.as_ref(),
             seed ^ (0x9e37 + i as u64),
+            &mut codec,
         );
         let stage = match report.stage {
             Stage::NoHello => "no HELLO",

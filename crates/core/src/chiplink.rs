@@ -10,7 +10,7 @@
 //! real chips.
 
 use crate::handshake::{Initiator, Responder};
-use crate::messages::WireConfig;
+use crate::messages::{FrameCodec, WireConfig};
 use crate::params::Params;
 use jrsnd_crypto::ibc::{Authority, NodeId};
 use jrsnd_dsss::channel::ChipChannel;
@@ -18,7 +18,6 @@ use jrsnd_dsss::code::{CodeId, SpreadCode};
 use jrsnd_dsss::correlate::MultiCorrelator;
 use jrsnd_dsss::spread::{despread_from_channel, spread};
 use jrsnd_dsss::sync::{decode_frame, scan_from};
-use jrsnd_ecc::expand::ExpansionCode;
 use jrsnd_sim::rng::SimRng;
 use jrsnd_sim::{metric_counter, metric_histogram};
 use rand::{Rng, SeedableRng};
@@ -89,12 +88,17 @@ pub enum Stage {
 /// channel segment, with `jammer` (if any) covering the tail of the
 /// transmission, then receives it back through ECC decoding.
 ///
+/// `coded_buf` is a caller-owned staging buffer for the coded bits, reused
+/// across the handshake's messages; the ECC itself runs through `codec`'s
+/// shared scratch, so the per-message ECC work is allocation-free.
+///
 /// Returns the decoded bits, or `None` if the ECC gave up.
 #[allow(clippy::too_many_arguments)]
 fn transmit_and_receive(
     message_bits: &[bool],
     code: &SpreadCode,
-    ecc: &ExpansionCode,
+    codec: &mut FrameCodec,
+    coded_buf: &mut Vec<bool>,
     jammer: Option<&ChipJammer>,
     message_index: usize,
     tau: f64,
@@ -102,17 +106,19 @@ fn transmit_and_receive(
     noise_seed: u64,
     rng: &mut SimRng,
 ) -> Option<Vec<bool>> {
-    let coded = ecc.encode_bits(message_bits).expect("non-empty message");
-    let chips = spread(&coded, code);
+    codec
+        .encode_into(message_bits, coded_buf)
+        .expect("non-empty message");
+    let chips = spread(coded_buf, code);
     let n = code.len();
     let mut channel = ChipChannel::new(noise_seed);
     channel.transmit(0, chips, 1);
     if let Some(j) = jammer.filter(|j| j.attacks(message_index)) {
         // Reactive jammer: chip-synchronized garbage over the tail
         // `fraction` of the message, aligned to bit boundaries.
-        let jam_bits_count = ((coded.len() as f64) * j.fraction).round() as usize;
+        let jam_bits_count = ((coded_buf.len() as f64) * j.fraction).round() as usize;
         if jam_bits_count > 0 {
-            let start_bit = coded.len() - jam_bits_count;
+            let start_bit = coded_buf.len() - jam_bits_count;
             let garbage: Vec<bool> = (0..jam_bits_count).map(|_| rng.gen()).collect();
             record_jam(start_bit, jam_bits_count, n, chip_rate);
             channel.transmit(
@@ -126,14 +132,18 @@ fn transmit_and_receive(
     // frame, so each bit window is rendered straight into the correlator
     // without materialising the full sample vector. Decisions are
     // bit-identical to render-then-`decode_frame`.
-    let (bits, erased) = despread_from_channel(&channel, 0, code, coded.len(), tau);
-    let decoded = ecc.decode_bits(&bits, &erased, message_bits.len()).ok();
-    if decoded.is_some() {
+    let (bits, erased) = despread_from_channel(&channel, 0, code, coded_buf.len(), tau);
+    let mut decoded = Vec::new();
+    let ok = codec
+        .decode_into(&bits, &erased, message_bits.len(), &mut decoded)
+        .is_ok();
+    if ok {
         metric_counter!("dsss.frames_decoded").inc();
+        Some(decoded)
     } else {
         metric_counter!("dsss.frames_failed").inc();
+        None
     }
-    decoded
 }
 
 /// Accounts one jam burst: chips covered, plus the jammer's reaction
@@ -171,14 +181,37 @@ pub fn run_handshake(
     jammer: Option<&ChipJammer>,
     seed: u64,
 ) -> HandshakeReport {
+    let mut codec = FrameCodec::new(params.mu).expect("mu validated");
+    run_handshake_with(
+        params, authority, a_codes, b_codes, shared_a, shared_b, jammer, seed, &mut codec,
+    )
+}
+
+/// [`run_handshake`] with a caller-owned [`FrameCodec`], so a driver
+/// running many handshakes (the Monte-Carlo `chiplevel` experiment) reuses
+/// one set of ECC scratch buffers across all of them. Results are
+/// identical to [`run_handshake`] — the codec carries no cross-call state,
+/// only capacity.
+#[allow(clippy::too_many_arguments)]
+pub fn run_handshake_with(
+    params: &Params,
+    authority: &Authority,
+    a_codes: &[SpreadCode],
+    b_codes: &[SpreadCode],
+    shared_a: usize,
+    shared_b: usize,
+    jammer: Option<&ChipJammer>,
+    seed: u64,
+    codec: &mut FrameCodec,
+) -> HandshakeReport {
     assert!(
         !a_codes.is_empty() && !b_codes.is_empty(),
         "empty code sets"
     );
     assert!(shared_a < a_codes.len() && shared_b < b_codes.len());
+    debug_assert_eq!(codec.code().mu(), params.mu, "codec/params mu mismatch");
     let mut rng = SimRng::seed_from_u64(seed);
     let wire = WireConfig::from_params(params);
-    let ecc = ExpansionCode::new(params.mu).expect("mu validated");
     let tau = params.tau;
     let id_a = NodeId(1);
     let id_b = NodeId(2);
@@ -189,7 +222,10 @@ pub fn run_handshake(
 
     // ---- Message 1: A broadcasts {HELLO, ID_A} with each of its codes. ----
     let hello_bits = initiator.hello_frame();
-    let hello_coded = ecc.encode_bits(&hello_bits).expect("non-empty");
+    let mut hello_coded = Vec::new();
+    codec
+        .encode_into(&hello_bits, &mut hello_coded)
+        .expect("non-empty");
     let n = a_codes[0].len();
     let mut channel = ChipChannel::new(seed ^ 0x1111);
     let mut offset = 0u64;
@@ -231,6 +267,8 @@ pub fn run_handshake(
     let mut sync_retries = 0u64;
     let mut confirm_frame: Option<Vec<bool>> = None;
     let mut pos = 0usize;
+    // One decode buffer reused across every retried sync candidate.
+    let mut hello_decoded = Vec::new();
     metric_counter!("chiplink.handshakes").inc();
     while pos + n <= buffer.len() {
         let Some(h) = scan_from(&mut scanner, pos, tau) else {
@@ -247,14 +285,15 @@ pub fn run_handshake(
             hello_coded.len(),
             tau,
         );
-        let decoded =
-            frame.and_then(|f| ecc.decode_bits(&f.bits, &f.erased, hello_bits.len()).ok());
-        if let Some(bits) = decoded {
-            if h.code_index == shared_b {
-                if let Ok(confirm) = responder.on_hello(&bits, CodeId(shared_b as u32)) {
-                    confirm_frame = Some(confirm);
-                    break;
-                }
+        let decoded = frame.is_some_and(|f| {
+            codec
+                .decode_into(&f.bits, &f.erased, hello_bits.len(), &mut hello_decoded)
+                .is_ok()
+        });
+        if decoded && h.code_index == shared_b {
+            if let Ok(confirm) = responder.on_hello(&hello_decoded, CodeId(shared_b as u32)) {
+                confirm_frame = Some(confirm);
+                break;
             }
         }
         // Skip one bit period: the refinement already searched this window.
@@ -273,12 +312,16 @@ pub fn run_handshake(
     };
     let code = &b_codes[shared_b]; // == a_codes[shared_a]
     debug_assert_eq!(code.chips(), a_codes[shared_a].chips());
+    // The HELLO's coded-bit buffer is free now; reuse it as the coded
+    // staging buffer for the remaining three messages.
+    let mut coded_buf = hello_coded;
 
     // ---- Message 2: B -> A {CONFIRM, ID_B} spread with the shared code. ----
     let auth_a_frame = transmit_and_receive(
         &confirm_bits,
         code,
-        &ecc,
+        codec,
+        &mut coded_buf,
         jammer,
         1,
         tau,
@@ -300,7 +343,8 @@ pub fn run_handshake(
     let auth_b_frame = transmit_and_receive(
         &auth_a_bits,
         code,
-        &ecc,
+        codec,
+        &mut coded_buf,
         jammer,
         2,
         tau,
@@ -322,7 +366,8 @@ pub fn run_handshake(
     let est_a = transmit_and_receive(
         &auth_b_bits,
         code,
-        &ecc,
+        codec,
+        &mut coded_buf,
         jammer,
         3,
         tau,
@@ -416,6 +461,40 @@ mod tests {
         assert_eq!(report.stage, Stage::Complete);
         assert!(report.discovered);
         assert!(report.scan_correlations > 0, "B really scanned the buffer");
+    }
+
+    #[test]
+    fn reused_codec_reproduces_fresh_codec_reports() {
+        // One FrameCodec threaded through several handshakes (incl. a
+        // jammed one) must report exactly what per-handshake codecs do.
+        let s = setup(7);
+        let jammer = ChipJammer::from_start(s.a_codes[1].clone(), 0.20, 1);
+        let mut codec = crate::messages::FrameCodec::new(s.params.mu).unwrap();
+        for (seed, jam) in [(301u64, false), (302, true), (303, false)] {
+            let j = jam.then_some(&jammer);
+            let fresh = run_handshake(
+                &s.params,
+                &s.authority,
+                &s.a_codes,
+                &s.b_codes,
+                1,
+                1,
+                j,
+                seed,
+            );
+            let reused = run_handshake_with(
+                &s.params,
+                &s.authority,
+                &s.a_codes,
+                &s.b_codes,
+                1,
+                1,
+                j,
+                seed,
+                &mut codec,
+            );
+            assert_eq!(fresh, reused, "seed {seed}, jam {jam}");
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use crate::jammer::Jammer;
 use crate::params::Params;
 use jrsnd_dsss::code::CodeId;
+use jrsnd_ecc::expand::ExpansionCode;
 use jrsnd_sim::rng::SimRng;
 use jrsnd_sim::{metric_counter, sim_trace};
 use rand::Rng;
@@ -81,6 +82,14 @@ pub fn simulate_pair_with(
         };
     }
     metric_counter!("dndp.hellos_sent").add(x as u64);
+    // Coded-airtime accounting: each HELLO copy is l_t + l_id bits expanded
+    // through the (1+mu) ECC. Pure arithmetic via the codec's layout — the
+    // probabilistic model below never touches the RNG for this.
+    if let Ok(layout) =
+        ExpansionCode::new(params.mu).and_then(|c| c.layout(params.l_t + params.l_id))
+    {
+        metric_counter!("dndp.coded_hello_bits").add((x * layout.coded_bits()) as u64);
+    }
 
     // Phase 1: which HELLO copies does B receive?
     let hello_received: Vec<bool> = shared

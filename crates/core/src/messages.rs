@@ -14,7 +14,65 @@
 use jrsnd_crypto::ibc::{IbSignature, NodeId};
 use jrsnd_crypto::mac::AuthTag;
 use jrsnd_crypto::nonce::Nonce;
+use jrsnd_ecc::expand::{ExpandError, ExpansionCode, ExpansionScratch};
 use std::fmt;
+
+/// A per-transceiver ECC frame codec: the (1+μ)-expansion code bundled
+/// with its reusable [`ExpansionScratch`], so every frame a node sends or
+/// receives shares the same staging buffers and cached Reed–Solomon
+/// tables. Construct once per link/handshake and thread `&mut` through;
+/// steady-state frames then perform zero ECC heap allocations.
+#[derive(Debug)]
+pub struct FrameCodec {
+    code: ExpansionCode,
+    scratch: ExpansionScratch,
+}
+
+impl FrameCodec {
+    /// Creates a codec for expansion factor `mu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExpandError::BadMu`] unless `0 < mu` and finite.
+    pub fn new(mu: f64) -> Result<Self, ExpandError> {
+        Ok(FrameCodec {
+            code: ExpansionCode::new(mu)?,
+            scratch: ExpansionScratch::new(),
+        })
+    }
+
+    /// The underlying expansion code (for layout queries).
+    pub fn code(&self) -> &ExpansionCode {
+        &self.code
+    }
+
+    /// ECC-encodes `msg` into `out` (cleared first) through the shared
+    /// scratch.
+    ///
+    /// # Errors
+    ///
+    /// As [`ExpansionCode::encode_bits_into`].
+    pub fn encode_into(&mut self, msg: &[bool], out: &mut Vec<bool>) -> Result<(), ExpandError> {
+        self.code.encode_bits_into(msg, &mut self.scratch, out)
+    }
+
+    /// Decodes `coded` with its per-bit erasure map into `out` (cleared
+    /// first), recovering the original `msg_bits`-bit message.
+    ///
+    /// # Errors
+    ///
+    /// As [`ExpansionCode::decode_bits_into`].
+    pub fn decode_into(
+        &mut self,
+        coded: &[bool],
+        erased: &[bool],
+        msg_bits: usize,
+        out: &mut Vec<bool>,
+    ) -> Result<(), ExpandError> {
+        self.code
+            .decode_bits_into(coded, erased, msg_bits, &mut self.scratch, out)
+    }
+}
 
 /// Message-type identifiers carried in the `l_t`-bit type field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -558,6 +616,29 @@ mod tests {
 
     fn cfg() -> WireConfig {
         WireConfig::from_params(&Params::table1())
+    }
+
+    #[test]
+    fn frame_codec_round_trips_and_matches_one_shot_api() {
+        let mut codec = FrameCodec::new(1.0).unwrap();
+        let one_shot = jrsnd_ecc::expand::ExpansionCode::new(1.0).unwrap();
+        let mut coded = Vec::new();
+        let mut decoded = Vec::new();
+        for len in [21usize, 80, 1072] {
+            let msg: Vec<bool> = (0..len).map(|i| i % 7 < 3).collect();
+            codec.encode_into(&msg, &mut coded).unwrap();
+            assert_eq!(coded, one_shot.encode_bits(&msg).unwrap(), "len {len}");
+            let mut erased = vec![false; coded.len()];
+            let burst = coded.len() * 2 / 5;
+            for e in erased.iter_mut().take(burst) {
+                *e = true;
+            }
+            codec
+                .decode_into(&coded, &erased, len, &mut decoded)
+                .unwrap();
+            assert_eq!(decoded, msg, "len {len}");
+        }
+        assert!(FrameCodec::new(0.0).is_err());
     }
 
     #[test]

@@ -366,6 +366,91 @@ pub fn closing_hello_heard(
     heard
 }
 
+/// [`closing_hello_heard`] with the closing HELLO carried through the
+/// (1+μ)-expansion ECC, as a full JR-SND transmission would be: the
+/// responder encodes the frame through `codec` before spreading, and the
+/// source despreads each bank candidate into coded bits plus sub-threshold
+/// erasure flags, then ECC-decodes and matches against the expected frame.
+/// The shared [`FrameCodec`] scratch makes the per-candidate ECC work
+/// allocation-free.
+///
+/// Returns the index of the first candidate whose decode reproduces
+/// `hello_bits`, or `None`.
+///
+/// # Panics
+///
+/// Panics if `hello_bits` or `candidates` is empty, or the session code's
+/// length differs from the bank's.
+#[allow(clippy::too_many_arguments)]
+pub fn closing_hello_heard_coded(
+    hello_bits: &[bool],
+    session_code: &jrsnd_dsss::code::SpreadCode,
+    candidates: &[&jrsnd_dsss::code::SpreadCode],
+    amplitude: Option<i32>,
+    noise: f64,
+    noise_seed: u64,
+    tau: f64,
+    codec: &mut crate::messages::FrameCodec,
+) -> Option<usize> {
+    use jrsnd_dsss::channel::ChipChannel;
+    use jrsnd_dsss::correlate::{FusedDespreader, MultiCorrelator};
+    use jrsnd_dsss::spread::{decide, spread};
+
+    assert!(!hello_bits.is_empty(), "empty closing HELLO");
+    assert!(!candidates.is_empty(), "empty session-code bank");
+    let mut coded = Vec::new();
+    codec
+        .encode_into(hello_bits, &mut coded)
+        .expect("non-empty HELLO");
+    let bank = MultiCorrelator::new(candidates);
+    let n = bank.code_len();
+    assert_eq!(
+        session_code.len(),
+        n,
+        "session code length differs from bank"
+    );
+
+    let mut channel = ChipChannel::new(noise_seed).with_noise(noise);
+    if let Some(amp) = amplitude {
+        channel.transmit(0, spread(&coded, session_code), amp);
+    }
+    let m = bank.num_codes();
+    let len = coded.len();
+    let mut fused = FusedDespreader::new(&bank);
+    let mut corr = vec![0.0f64; m];
+    // Candidate-major coded bit/erasure planes, filled one rendered bit
+    // window at a time (each window correlates against the whole bank).
+    let mut bits = vec![false; m * len];
+    let mut erased = vec![false; m * len];
+    for j in 0..len {
+        fused.correlate_at(&channel, (j * n) as u64, &mut corr);
+        for (c, &cr) in corr.iter().enumerate() {
+            match decide(cr, tau).bit() {
+                Some(b) => bits[c * len + j] = b,
+                None => erased[c * len + j] = true,
+            }
+        }
+    }
+    let mut decoded = Vec::new();
+    let heard = (0..m).find(|&c| {
+        codec
+            .decode_into(
+                &bits[c * len..(c + 1) * len],
+                &erased[c * len..(c + 1) * len],
+                hello_bits.len(),
+                &mut decoded,
+            )
+            .is_ok()
+            && decoded == hello_bits
+    });
+    if heard.is_some() {
+        metric_counter!("mndp.closing_hellos_heard").inc();
+    } else {
+        metric_counter!("mndp.closing_hellos_missed").inc();
+    }
+    heard
+}
+
 /// One closure pass of the graph-level shortcut: every physical pair not
 /// yet logical that is connected by a logical path of at most `nu` hops
 /// gets discovered. Returns `(u, v, hops)` triples (edges NOT yet added).
@@ -583,6 +668,61 @@ mod tests {
             closing_hello_heard(&hello, &codes[0], &refs, None, 0.02, 9, 0.15),
             None
         );
+    }
+
+    #[test]
+    fn coded_closing_hello_is_heard_and_reuses_scratch() {
+        use crate::messages::FrameCodec;
+        use jrsnd_dsss::code::SpreadCode;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let codes: Vec<SpreadCode> = (0..4).map(|_| SpreadCode::random(512, &mut rng)).collect();
+        let refs: Vec<&SpreadCode> = codes.iter().collect();
+        let hello: Vec<bool> = (0..24).map(|i| i % 3 != 0).collect();
+        let mut codec = FrameCodec::new(1.0).expect("valid mu");
+        // Same codec instance across heard / foreign-code / out-of-range
+        // calls: scratch reuse must not change any verdict.
+        let heard = closing_hello_heard_coded(
+            &hello,
+            &codes[2],
+            &refs,
+            Some(1),
+            0.02,
+            11,
+            0.15,
+            &mut codec,
+        );
+        assert_eq!(heard, Some(2));
+        let bank3: Vec<&SpreadCode> = codes[..3].iter().collect();
+        assert_eq!(
+            closing_hello_heard_coded(
+                &hello,
+                &codes[3],
+                &bank3,
+                Some(1),
+                0.02,
+                12,
+                0.15,
+                &mut codec
+            ),
+            None
+        );
+        assert_eq!(
+            closing_hello_heard_coded(&hello, &codes[0], &refs, None, 0.02, 13, 0.15, &mut codec),
+            None
+        );
+        // Repeat of the first call: identical outcome with warm scratch.
+        let again = closing_hello_heard_coded(
+            &hello,
+            &codes[2],
+            &refs,
+            Some(1),
+            0.02,
+            11,
+            0.15,
+            &mut codec,
+        );
+        assert_eq!(again, Some(2));
     }
 
     #[test]

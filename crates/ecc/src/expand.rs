@@ -16,9 +16,25 @@
 //! receiver: the correlator sees |correlation| below the threshold τ and
 //! knows the bit is unreliable. Decoding therefore takes a per-bit erasure
 //! map.
+//!
+//! # Kernel layout
+//!
+//! The per-frame path is word-oriented and allocation-free once warm:
+//! bit↔byte conversion packs eight bits branchlessly per byte and emits
+//! whole `u64` words ([`pack_bits_into`]/[`append_bits_from_bytes`]), the
+//! per-bit erasure map collapses into a byte-granularity `u64` bitmask, and
+//! chunks are RS-decoded *in place* inside a staging buffer instead of
+//! being copied out per chunk. [`ExpansionScratch`] owns every buffer plus
+//! the [`RsCode`] (cached per `(n, k)` shape, `ecc.scratch_reused` counts
+//! the hits) and the [`RsScratch`], so steady-state Monte-Carlo frames
+//! touch the allocator zero times — see
+//! [`ExpansionCode::encode_bits_into`] / [`ExpansionCode::decode_bits_into`].
+//! The original allocating pipeline is preserved in [`reference`] as the
+//! equivalence oracle.
 
 use crate::interleave::BlockInterleaver;
-use crate::rs::{RsCode, RsError};
+use crate::rs::{RsCode, RsError, RsScratch};
+use jrsnd_sim::metric_counter;
 
 /// Errors from the expansion codec.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,6 +91,53 @@ impl Layout {
     pub fn coded_bits(&self) -> usize {
         self.chunks * self.n * 8
     }
+}
+
+/// Reusable working memory for the expansion codec: staging buffers, the
+/// byte-granularity erasure bitmask, the per-chunk erasure position list,
+/// the [`RsScratch`], and a cached [`RsCode`] keyed by the `(n, k)` shape.
+///
+/// Construct once per transceiver and thread through
+/// [`ExpansionCode::encode_bits_into`] / [`ExpansionCode::decode_bits_into`]:
+/// after the first frame of a given shape, further frames perform **zero
+/// heap allocations** (asserted by `tests/ecc_alloc.rs`). Reuse never
+/// affects results — every buffer is fully overwritten per call.
+#[derive(Debug, Default)]
+pub struct ExpansionScratch {
+    /// Packed message/coded bytes; doubles as the interleave output.
+    packed: Vec<u8>,
+    /// Chunk-major symbol staging; chunks are decoded in place here.
+    staging: Vec<u8>,
+    /// Byte-granularity erasure bitmask over the interleaved coded bytes.
+    era_words: Vec<u64>,
+    /// Erasure positions within the current chunk.
+    era_pos: Vec<usize>,
+    /// The RS code for the last-seen `(n, k)`, rebuilt only on shape change.
+    rs_cache: Option<(usize, usize, RsCode)>,
+    /// Reed–Solomon decoder working memory.
+    rs_scratch: RsScratch,
+}
+
+impl ExpansionScratch {
+    /// An empty scratch; buffers grow to steady-state size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The cached-RS-code lookup, as a free function over the cache field so
+/// callers can keep disjoint borrows of the other scratch fields.
+fn cached_code(cache: &mut Option<(usize, usize, RsCode)>, n: usize, k: usize) -> &RsCode {
+    if matches!(cache, Some((cn, ck, _)) if *cn == n && *ck == k) {
+        metric_counter!("ecc.scratch_reused").inc();
+    } else {
+        *cache = Some((
+            n,
+            k,
+            RsCode::new(n, k).expect("layout dimensions are valid"),
+        ));
+    }
+    &cache.as_ref().expect("cache populated").2
 }
 
 /// The μ-expansion coder: rate `1/(1+μ)`, tolerating a `μ/(1+μ)` fraction
@@ -146,27 +209,63 @@ impl ExpansionCode {
 
     /// Encodes a bit message into its jam-tolerant coded bit stream.
     ///
+    /// Convenience wrapper over [`ExpansionCode::encode_bits_into`] with
+    /// throwaway scratch; per-frame callers should hold an
+    /// [`ExpansionScratch`] instead.
+    ///
     /// # Errors
     ///
     /// Returns [`ExpandError::EmptyMessage`] for an empty message.
     pub fn encode_bits(&self, msg: &[bool]) -> Result<Vec<bool>, ExpandError> {
+        let mut out = Vec::new();
+        self.encode_bits_into(msg, &mut ExpansionScratch::new(), &mut out)?;
+        Ok(out)
+    }
+
+    /// [`ExpansionCode::encode_bits`] into caller-owned buffers: `out` is
+    /// cleared and filled with the coded bits; all intermediates live in
+    /// `scratch`. Zero allocations once the buffers reached steady-state
+    /// capacity for the message shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExpandError::EmptyMessage`] for an empty message.
+    pub fn encode_bits_into(
+        &self,
+        msg: &[bool],
+        scratch: &mut ExpansionScratch,
+        out: &mut Vec<bool>,
+    ) -> Result<(), ExpandError> {
         let layout = self.layout(msg.len())?;
-        let mut data = bits_to_bytes(msg);
-        data.resize(layout.chunks * layout.k, 0);
-        let rs = RsCode::new(layout.n, layout.k).expect("layout dimensions are valid");
-        let mut symbols = Vec::with_capacity(layout.chunks * layout.n);
-        for chunk in data.chunks(layout.k) {
-            symbols.extend(rs.encode(chunk).expect("chunk length matches k"));
+        let ExpansionScratch {
+            packed,
+            staging,
+            rs_cache,
+            ..
+        } = scratch;
+        pack_bits_into(msg, packed);
+        packed.resize(layout.chunks * layout.k, 0);
+        let rs = cached_code(rs_cache, layout.n, layout.k);
+        staging.clear();
+        staging.resize(layout.chunks * layout.n, 0);
+        for ci in 0..layout.chunks {
+            rs.encode_into(
+                &packed[ci * layout.k..(ci + 1) * layout.k],
+                &mut staging[ci * layout.n..(ci + 1) * layout.n],
+            )
+            .expect("chunk length matches k");
         }
-        let symbols = if layout.chunks > 1 {
-            BlockInterleaver::new(layout.chunks, layout.n)
-                .expect("nonzero dims")
-                .interleave(&symbols)
-                .expect("length is chunks*n")
+        out.clear();
+        if layout.chunks > 1 {
+            let il = BlockInterleaver::new(layout.chunks, layout.n).expect("nonzero dims");
+            packed.resize(layout.chunks * layout.n, 0);
+            il.interleave_into(staging, packed)
+                .expect("length is chunks*n");
+            append_bits_from_bytes(packed, out);
         } else {
-            symbols
-        };
-        Ok(bytes_to_bits(&symbols))
+            append_bits_from_bytes(staging, out);
+        }
+        Ok(())
     }
 
     /// Decodes a coded bit stream given a per-bit erasure map, returning the
@@ -175,6 +274,9 @@ impl ExpansionCode {
     /// A coded byte counts as erased if *any* of its 8 bits is flagged.
     /// Non-flagged corrupted bits are handled as RS errors (each chunk
     /// corrects ν errors + e erasures while `2ν + e ≤ n − k`).
+    ///
+    /// Convenience wrapper over [`ExpansionCode::decode_bits_into`] with
+    /// throwaway scratch.
     ///
     /// # Errors
     ///
@@ -187,6 +289,35 @@ impl ExpansionCode {
         erased: &[bool],
         msg_bits: usize,
     ) -> Result<Vec<bool>, ExpandError> {
+        let mut out = Vec::new();
+        self.decode_bits_into(
+            coded,
+            erased,
+            msg_bits,
+            &mut ExpansionScratch::new(),
+            &mut out,
+        )?;
+        Ok(out)
+    }
+
+    /// [`ExpansionCode::decode_bits`] into caller-owned buffers — the
+    /// allocation-free kernel. The erasure map is collapsed to a
+    /// byte-granularity `u64` bitmask, symbols are deinterleaved once into
+    /// the staging buffer, and each chunk is decoded **in place** there
+    /// (via [`RsCode::decode_data_in_place`]) with its erasure positions
+    /// read back through the interleaver permutation — no per-chunk copies.
+    ///
+    /// # Errors
+    ///
+    /// As [`ExpansionCode::decode_bits`].
+    pub fn decode_bits_into(
+        &self,
+        coded: &[bool],
+        erased: &[bool],
+        msg_bits: usize,
+        scratch: &mut ExpansionScratch,
+        out: &mut Vec<bool>,
+    ) -> Result<(), ExpandError> {
         let layout = self.layout(msg_bits)?;
         let expected = layout.coded_bits();
         if coded.len() != expected || erased.len() != expected {
@@ -199,7 +330,191 @@ impl ExpansionCode {
                 },
             });
         }
-        let symbols = bits_to_bytes(coded);
+        let ExpansionScratch {
+            packed,
+            staging,
+            era_words,
+            era_pos,
+            rs_cache,
+            rs_scratch,
+        } = scratch;
+        pack_bits_into(coded, packed);
+        let total = layout.chunks * layout.n;
+        // Byte j of the interleaved stream is erased iff any of its 8 bits
+        // is flagged; one bit per byte, packed into u64 words.
+        era_words.clear();
+        era_words.resize(total.div_ceil(64), 0);
+        for (j, group) in erased.chunks(8).enumerate() {
+            if group.iter().any(|&b| b) {
+                era_words[j >> 6] |= 1 << (j & 63);
+            }
+        }
+        let il = BlockInterleaver::new(layout.chunks, layout.n).expect("nonzero dims");
+        if layout.chunks > 1 {
+            staging.clear();
+            staging.resize(total, 0);
+            il.deinterleave_into(packed, staging)
+                .expect("geometry checked");
+        } else {
+            std::mem::swap(packed, staging);
+        }
+        let rs = cached_code(rs_cache, layout.n, layout.k);
+        out.clear();
+        for ci in 0..layout.chunks {
+            // Erasure positions within this chunk: deinterleaved position i
+            // came from interleaved byte permute(ci*n + i).
+            era_pos.clear();
+            for i in 0..layout.n {
+                let j = if layout.chunks > 1 {
+                    il.permute(ci * layout.n + i)
+                } else {
+                    ci * layout.n + i
+                };
+                if era_words[j >> 6] >> (j & 63) & 1 == 1 {
+                    era_pos.push(i);
+                }
+            }
+            if era_pos.len() > layout.n - layout.k {
+                return Err(ExpandError::Unrecoverable);
+            }
+            let chunk = &mut staging[ci * layout.n..(ci + 1) * layout.n];
+            let data = rs.decode_data_in_place(chunk, era_pos, rs_scratch)?;
+            append_bits_from_bytes(data, out);
+        }
+        out.truncate(msg_bits);
+        Ok(())
+    }
+}
+
+/// Packs bits (MSB-first within each byte) into `out` (cleared first),
+/// zero-padding the final partial byte. The hot loop assembles eight bits
+/// branchlessly per byte and writes eight bytes per `u64` word.
+pub fn pack_bits_into(bits: &[bool], out: &mut Vec<u8>) {
+    #[inline]
+    fn pack8(c: &[bool]) -> u8 {
+        (c[0] as u8) << 7
+            | (c[1] as u8) << 6
+            | (c[2] as u8) << 5
+            | (c[3] as u8) << 4
+            | (c[4] as u8) << 3
+            | (c[5] as u8) << 2
+            | (c[6] as u8) << 1
+            | (c[7] as u8)
+    }
+    out.clear();
+    out.reserve(bits.len().div_ceil(8));
+    let mut words = bits.chunks_exact(64);
+    for w in words.by_ref() {
+        let mut acc = 0u64;
+        for (g, byte_bits) in w.chunks_exact(8).enumerate() {
+            acc |= u64::from(pack8(byte_bits)) << (56 - 8 * g);
+        }
+        out.extend_from_slice(&acc.to_be_bytes());
+    }
+    let mut bytes = words.remainder().chunks_exact(8);
+    for c in bytes.by_ref() {
+        out.push(pack8(c));
+    }
+    let rem = bytes.remainder();
+    if !rem.is_empty() {
+        let mut b = 0u8;
+        for (i, &v) in rem.iter().enumerate() {
+            b |= (v as u8) << (7 - i);
+        }
+        out.push(b);
+    }
+}
+
+/// Appends each byte of `bytes` as 8 bits (MSB-first) to `out`.
+pub fn append_bits_from_bytes(bytes: &[u8], out: &mut Vec<bool>) {
+    out.reserve(bytes.len() * 8);
+    for &b in bytes {
+        out.push(b & 0x80 != 0);
+        out.push(b & 0x40 != 0);
+        out.push(b & 0x20 != 0);
+        out.push(b & 0x10 != 0);
+        out.push(b & 0x08 != 0);
+        out.push(b & 0x04 != 0);
+        out.push(b & 0x02 != 0);
+        out.push(b & 0x01 != 0);
+    }
+}
+
+/// Packs bits (MSB-first within each byte) into bytes, zero-padding the
+/// final partial byte.
+pub fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
+    let mut out = Vec::new();
+    pack_bits_into(bits, &mut out);
+    out
+}
+
+/// Unpacks bytes into bits, MSB-first.
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<bool> {
+    let mut out = Vec::with_capacity(bytes.len() * 8);
+    append_bits_from_bytes(bytes, &mut out);
+    out
+}
+
+/// The original allocating expansion pipeline over the [`crate::rs::reference`]
+/// Reed–Solomon oracle, kept for equivalence testing: the scratch-backed
+/// kernels must produce byte-identical results (including error cases).
+pub mod reference {
+    use super::{ExpandError, ExpansionCode};
+    use crate::interleave::BlockInterleaver;
+    use crate::rs::{reference as rs_reference, RsCode};
+
+    /// The original [`ExpansionCode::encode_bits`]: fresh vectors and
+    /// polynomial-division RS encoding per chunk.
+    ///
+    /// # Errors
+    ///
+    /// As [`ExpansionCode::encode_bits`].
+    pub fn encode_bits(code: &ExpansionCode, msg: &[bool]) -> Result<Vec<bool>, ExpandError> {
+        let layout = code.layout(msg.len())?;
+        let mut data = super::bits_to_bytes(msg);
+        data.resize(layout.chunks * layout.k, 0);
+        let rs = RsCode::new(layout.n, layout.k).expect("layout dimensions are valid");
+        let mut symbols = Vec::with_capacity(layout.chunks * layout.n);
+        for chunk in data.chunks(layout.k) {
+            symbols.extend(rs_reference::encode(&rs, chunk).expect("chunk length matches k"));
+        }
+        let symbols = if layout.chunks > 1 {
+            BlockInterleaver::new(layout.chunks, layout.n)
+                .expect("nonzero dims")
+                .interleave(&symbols)
+                .expect("length is chunks*n")
+        } else {
+            symbols
+        };
+        Ok(super::bytes_to_bits(&symbols))
+    }
+
+    /// The original [`ExpansionCode::decode_bits`]: `Vec<bool>` erasure
+    /// maps, allocating deinterleave, per-chunk copies, polynomial RS
+    /// decoding.
+    ///
+    /// # Errors
+    ///
+    /// As [`ExpansionCode::decode_bits`].
+    pub fn decode_bits(
+        code: &ExpansionCode,
+        coded: &[bool],
+        erased: &[bool],
+        msg_bits: usize,
+    ) -> Result<Vec<bool>, ExpandError> {
+        let layout = code.layout(msg_bits)?;
+        let expected = layout.coded_bits();
+        if coded.len() != expected || erased.len() != expected {
+            return Err(ExpandError::LengthMismatch {
+                expected,
+                got: if coded.len() != expected {
+                    coded.len()
+                } else {
+                    erased.len()
+                },
+            });
+        }
+        let symbols = super::bits_to_bytes(coded);
         let symbol_erased: Vec<bool> = erased.chunks(8).map(|c| c.iter().any(|&b| b)).collect();
         let (symbols, symbol_erased) = if layout.chunks > 1 {
             let il = BlockInterleaver::new(layout.chunks, layout.n).expect("nonzero dims");
@@ -220,36 +535,13 @@ impl ExpansionCode {
             if erasures.len() > layout.n - layout.k {
                 return Err(ExpandError::Unrecoverable);
             }
-            rs.decode(&mut chunk, &erasures)?;
+            rs_reference::decode(&rs, &mut chunk, &erasures)?;
             data.extend_from_slice(&chunk[..layout.k]);
         }
-        let mut bits = bytes_to_bits(&data);
+        let mut bits = super::bytes_to_bits(&data);
         bits.truncate(msg_bits);
         Ok(bits)
     }
-}
-
-/// Packs bits (MSB-first within each byte) into bytes, zero-padding the
-/// final partial byte.
-pub fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
-    let mut out = vec![0u8; bits.len().div_ceil(8)];
-    for (i, &b) in bits.iter().enumerate() {
-        if b {
-            out[i / 8] |= 0x80 >> (i % 8);
-        }
-    }
-    out
-}
-
-/// Unpacks bytes into bits, MSB-first.
-pub fn bytes_to_bits(bytes: &[u8]) -> Vec<bool> {
-    let mut out = Vec::with_capacity(bytes.len() * 8);
-    for &b in bytes {
-        for i in 0..8 {
-            out.push(b & (0x80 >> i) != 0);
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -274,6 +566,21 @@ mod tests {
     }
 
     #[test]
+    fn packed_word_conversion_matches_naive() {
+        // Cover the 64-bit word path, the 8-bit path, and the ragged tail.
+        for len in [0, 1, 7, 8, 9, 63, 64, 65, 200, 1024, 1027] {
+            let bits = msg(len, 40 + len as u64);
+            let mut naive = vec![0u8; len.div_ceil(8)];
+            for (i, &b) in bits.iter().enumerate() {
+                if b {
+                    naive[i / 8] |= 0x80 >> (i % 8);
+                }
+            }
+            assert_eq!(bits_to_bytes(&bits), naive, "len {len}");
+        }
+    }
+
+    #[test]
     fn clean_round_trip_various_sizes() {
         let code = ExpansionCode::new(1.0).unwrap();
         for len in [1, 7, 8, 21, 160, 500, 1072, 4096] {
@@ -285,6 +592,71 @@ mod tests {
                 m,
                 "len {len}"
             );
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_reference_clean_and_jammed() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(77);
+        let mut scratch = ExpansionScratch::new();
+        let mut coded_buf = Vec::new();
+        let mut out_buf = Vec::new();
+        for trial in 0..40u64 {
+            let len = r.gen_range(1usize..1500);
+            let mu = [0.5, 1.0, 2.0][r.gen_range(0usize..3)];
+            let code = ExpansionCode::new(mu).unwrap();
+            let m = msg(len, 3000 + trial);
+            code.encode_bits_into(&m, &mut scratch, &mut coded_buf)
+                .unwrap();
+            let reference = reference::encode_bits(&code, &m).unwrap();
+            assert_eq!(coded_buf, reference, "trial {trial}: encode diverged");
+            // Corrupt a random mix of flagged erasures and silent flips.
+            let mut coded = coded_buf.clone();
+            let total = coded.len();
+            let mut erased = vec![false; total];
+            for i in 0..total {
+                if r.gen_bool(0.25) {
+                    erased[i] = true;
+                    coded[i] = r.gen();
+                } else if r.gen_bool(0.02) {
+                    coded[i] = !coded[i];
+                }
+            }
+            let fast = code.decode_bits_into(&coded, &erased, len, &mut scratch, &mut out_buf);
+            let slow = reference::decode_bits(&code, &coded, &erased, len);
+            match (fast, slow) {
+                (Ok(()), Ok(s)) => assert_eq!(out_buf, s, "trial {trial}: decode diverged"),
+                (f, s) => assert_eq!(f.err(), s.err(), "trial {trial}: errors diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_never_changes_output() {
+        let code = ExpansionCode::new(1.0).unwrap();
+        let mut scratch = ExpansionScratch::new();
+        let mut out = Vec::new();
+        for trial in 0..20u64 {
+            let len = 21 + (trial as usize * 53) % 1200;
+            let m = msg(len, 500 + trial);
+            code.encode_bits_into(&m, &mut scratch, &mut out).unwrap();
+            assert_eq!(out, code.encode_bits(&m).unwrap(), "trial {trial}");
+            // A contiguous 40% burst, safely under the mu = 1 budget.
+            let mut erased = vec![false; out.len()];
+            let burst = out.len() * 2 / 5;
+            for e in erased.iter_mut().take(burst) {
+                *e = true;
+            }
+            let coded = out.clone();
+            let mut decoded = Vec::new();
+            code.decode_bits_into(&coded, &erased, len, &mut scratch, &mut decoded)
+                .unwrap();
+            assert_eq!(
+                decoded,
+                code.decode_bits(&coded, &erased, len).unwrap(),
+                "trial {trial}"
+            );
+            assert_eq!(decoded, m, "trial {trial}");
         }
     }
 

@@ -116,6 +116,33 @@ impl Gf256 {
     }
 }
 
+/// Raw exp/log tables for table-driven kernels (the Reed–Solomon hot
+/// paths in [`crate::rs`]). `exp` is doubled so `exp[log a + log b]`
+/// never needs a mod-255 reduction; `log[0]` is unspecified — callers
+/// must branch on zero themselves.
+#[inline]
+pub(crate) fn raw_tables() -> (&'static [u8; 512], &'static [u8; 256]) {
+    let t = tables();
+    (&t.exp, &t.log)
+}
+
+/// The 256-entry multiplication table of a constant: `table[b] = c·b`.
+///
+/// One table per generator-polynomial coefficient turns the systematic
+/// Reed–Solomon encoder into a pure LFSR of XORs and lookups.
+pub fn mul_table(c: Gf256) -> [u8; 256] {
+    let mut out = [0u8; 256];
+    if c.is_zero() {
+        return out;
+    }
+    let (exp, log) = raw_tables();
+    let lc = log[c.0 as usize] as usize;
+    for b in 1..=255usize {
+        out[b] = exp[lc + log[b] as usize];
+    }
+    out
+}
+
 impl std::ops::Add for Gf256 {
     type Output = Gf256;
     // XOR IS addition/subtraction in a characteristic-2 field.
@@ -296,6 +323,16 @@ mod tests {
     #[should_panic(expected = "division by zero")]
     fn division_by_zero_panics() {
         let _ = Gf256(5) / Gf256::ZERO;
+    }
+
+    #[test]
+    fn mul_table_matches_operator() {
+        for c in [0u8, 1, 2, 0x53, 0x8E, 0xFF] {
+            let t = mul_table(Gf256(c));
+            for b in 0..=255u8 {
+                assert_eq!(t[b as usize], (Gf256(c) * Gf256(b)).value(), "c={c} b={b}");
+            }
+        }
     }
 
     #[test]

@@ -113,6 +113,47 @@ impl BlockInterleaver {
         Ok(out)
     }
 
+    /// [`BlockInterleaver::interleave`] into a caller-provided buffer of
+    /// exactly `rows * cols` elements — the allocation-free variant used by
+    /// the expansion codec's scratch-backed path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterleaveError::LengthMismatch`] if either slice has the
+    /// wrong length.
+    pub fn interleave_into<T: Copy>(
+        &self,
+        input: &[T],
+        out: &mut [T],
+    ) -> Result<(), InterleaveError> {
+        self.check(input.len())?;
+        self.check(out.len())?;
+        for (i, &v) in input.iter().enumerate() {
+            out[self.permute(i)] = v;
+        }
+        Ok(())
+    }
+
+    /// [`BlockInterleaver::deinterleave`] into a caller-provided buffer of
+    /// exactly `rows * cols` elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterleaveError::LengthMismatch`] if either slice has the
+    /// wrong length.
+    pub fn deinterleave_into<T: Copy>(
+        &self,
+        input: &[T],
+        out: &mut [T],
+    ) -> Result<(), InterleaveError> {
+        self.check(input.len())?;
+        self.check(out.len())?;
+        for (j, &v) in input.iter().enumerate() {
+            out[self.unpermute(j)] = v;
+        }
+        Ok(())
+    }
+
     fn check(&self, len: usize) -> Result<(), InterleaveError> {
         if len != self.block_len() {
             return Err(InterleaveError::LengthMismatch {
@@ -135,6 +176,23 @@ mod tests {
         let mixed = il.interleave(&data).unwrap();
         assert_ne!(mixed, data);
         assert_eq!(il.deinterleave(&mixed).unwrap(), data);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones() {
+        let il = BlockInterleaver::new(3, 5).unwrap();
+        let data: Vec<u8> = (10..25).collect();
+        let mut buf = vec![0u8; 15];
+        il.interleave_into(&data, &mut buf).unwrap();
+        assert_eq!(buf, il.interleave(&data).unwrap());
+        let mut back = vec![0u8; 15];
+        il.deinterleave_into(&buf, &mut back).unwrap();
+        assert_eq!(back, data);
+        let mut wrong = vec![0u8; 14];
+        assert!(matches!(
+            il.interleave_into(&data, &mut wrong),
+            Err(InterleaveError::LengthMismatch { .. })
+        ));
     }
 
     #[test]

@@ -40,5 +40,5 @@ pub mod interleave;
 pub mod poly;
 pub mod rs;
 
-pub use expand::{ExpandError, ExpansionCode};
-pub use rs::{RsCode, RsError};
+pub use expand::{ExpandError, ExpansionCode, ExpansionScratch};
+pub use rs::{RsCode, RsError, RsScratch};

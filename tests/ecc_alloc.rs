@@ -1,0 +1,121 @@
+//! Proves the steady-state ECC datapath is allocation-free.
+//!
+//! A counting global allocator wraps `System`; after one warm-up frame
+//! populates the `ExpansionScratch` buffers and the cached `RsCode`
+//! tables, further encode/decode round-trips of the same geometry must
+//! perform **zero** heap allocations. This lives outside `jrsnd-ecc`
+//! because the crate itself forbids `unsafe`, which a `GlobalAlloc` impl
+//! requires.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use jrsnd_ecc::expand::{ExpansionCode, ExpansionScratch};
+use jrsnd_ecc::rs::{RsCode, RsScratch};
+use rand::{Rng, SeedableRng};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how many heap allocations it performed.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn rs_encode_decode_steady_state_is_allocation_free() {
+    let code = RsCode::new(255, 223).unwrap();
+    let mut r = rand::rngs::StdRng::seed_from_u64(1);
+    let data: Vec<u8> = (0..223).map(|_| r.gen()).collect();
+    let mut word = vec![0u8; 255];
+    let mut scratch = RsScratch::new();
+    let era: Vec<usize> = (0..16).collect();
+
+    // Warm-up (metrics registry may lazily allocate its counters here).
+    code.encode_into(&data, &mut word).unwrap();
+    for &p in &era {
+        word[p] ^= 0x5A;
+    }
+    word[100] ^= 0x7;
+    code.decode_with(&mut word, &era, &mut scratch).unwrap();
+
+    let n = count_allocs(|| {
+        for round in 0..50u8 {
+            code.encode_into(&data, &mut word).unwrap();
+            for &p in &era {
+                word[p] ^= round | 1;
+            }
+            word[100] ^= 0x7;
+            let fixed = code.decode_with(&mut word, &era, &mut scratch).unwrap();
+            assert_eq!(fixed, 17);
+            assert_eq!(&word[..223], &data[..]);
+        }
+    });
+    assert_eq!(n, 0, "steady-state RS round-trips allocated {n} times");
+}
+
+#[test]
+fn expansion_round_trip_steady_state_is_allocation_free() {
+    let code = ExpansionCode::new(1.0).unwrap();
+    let mut r = rand::rngs::StdRng::seed_from_u64(2);
+    let msg: Vec<bool> = (0..168).map(|_| r.gen()).collect();
+    let mut scratch = ExpansionScratch::new();
+    let mut coded = Vec::new();
+    let mut out = Vec::new();
+
+    // Warm-up frame sizes every scratch buffer, caches the RsCode, and —
+    // by actually corrupting the word — touches every lazily-registered
+    // metrics counter (including `ecc.symbols_corrected`) before counting.
+    code.encode_bits_into(&msg, &mut scratch, &mut coded)
+        .unwrap();
+    let burst = coded.len() / 3;
+    let mut erased = vec![false; coded.len()];
+    for (c, e) in coded.iter_mut().zip(erased.iter_mut()).take(burst) {
+        *c = !*c;
+        *e = true;
+    }
+    code.decode_bits_into(&coded, &erased, msg.len(), &mut scratch, &mut out)
+        .unwrap();
+    assert_eq!(out, msg);
+
+    let n = count_allocs(|| {
+        for _ in 0..50 {
+            code.encode_bits_into(&msg, &mut scratch, &mut coded)
+                .unwrap();
+            for (i, c) in coded.iter_mut().enumerate() {
+                if erased[i] {
+                    *c = !*c;
+                }
+            }
+            code.decode_bits_into(&coded, &erased, msg.len(), &mut scratch, &mut out)
+                .unwrap();
+            assert_eq!(out, msg);
+        }
+    });
+    assert_eq!(
+        n, 0,
+        "steady-state expansion round-trips allocated {n} times"
+    );
+}

@@ -1,0 +1,221 @@
+//! End-to-end equivalence of the table-driven ECC datapath with the
+//! Poly-based reference implementation it replaced.
+//!
+//! The `jrsnd_ecc` kernels promise *byte-identical* results, not merely
+//! equivalent corrections: the LFSR encoder, the incremental-register Chien
+//! search, the delta-syndrome recheck and the word-parallel expansion path
+//! must reproduce the originals (kept under `rs::reference` /
+//! `expand::reference`) bit for bit — on success, on `TooManyErrors`, and
+//! in the partially-corrected buffer a failed decode leaves behind. These
+//! tests drive randomized corruption scenarios through both paths and
+//! require equality, and re-run the fast path with warm scratch to prove
+//! reuse never changes an outcome.
+
+use jrsnd_ecc::expand::{self, ExpansionCode, ExpansionScratch};
+use jrsnd_ecc::rs::{self, RsCode, RsScratch};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// Code shapes worth exercising: tiny, odd, paper-scale rate-1/2, and the
+/// classic RS(255,223).
+const SHAPES: &[(usize, usize)] = &[(4, 2), (15, 9), (32, 20), (64, 32), (255, 223)];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rs_encode_matches_reference(seed in any::<u64>(), shape in 0usize..SHAPES.len()) {
+        let (n, k) = SHAPES[shape];
+        let code = RsCode::new(n, k).unwrap();
+        let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<u8> = (0..k).map(|_| r.gen()).collect();
+        let fast = code.encode(&data).unwrap();
+        let slow = rs::reference::encode(&code, &data).unwrap();
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn rs_decode_matches_reference_under_any_corruption(
+        seed in any::<u64>(),
+        shape in 0usize..SHAPES.len(),
+        // Deliberately ranges past capacity so TooManyErrors paths are hit.
+        errors in 0usize..20,
+        erasures in 0usize..24,
+    ) {
+        let (n, k) = SHAPES[shape];
+        let code = RsCode::new(n, k).unwrap();
+        let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<u8> = (0..k).map(|_| r.gen()).collect();
+        let clean = code.encode(&data).unwrap();
+
+        let mut word = clean.clone();
+        let mut era: Vec<usize> = Vec::new();
+        for _ in 0..erasures.min(n) {
+            let p = r.gen_range(0..n);
+            if !era.contains(&p) {
+                era.push(p);
+                word[p] = r.gen();
+            }
+        }
+        let mut err_pos: Vec<usize> = Vec::new();
+        for _ in 0..errors.min(n) {
+            let p = r.gen_range(0..n);
+            if !era.contains(&p) && !err_pos.contains(&p) {
+                err_pos.push(p);
+                word[p] ^= r.gen_range(1u8..=255);
+            }
+        }
+
+        let mut fast_buf = word.clone();
+        let mut slow_buf = word.clone();
+        let mut scratch = RsScratch::new();
+        let fast = code.decode_with(&mut fast_buf, &era, &mut scratch);
+        let slow = rs::reference::decode(&code, &mut slow_buf, &era);
+        // Result AND buffer must match — even a failed decode leaves the
+        // same partially-corrected bytes behind.
+        prop_assert_eq!(&fast, &slow);
+        prop_assert_eq!(&fast_buf, &slow_buf);
+        // Recovery of the original is only guaranteed within capacity;
+        // beyond it a decode may legally land on a *different* codeword
+        // (identically in both paths, which is all equivalence demands).
+        if 2 * err_pos.len() + era.len() <= n - k {
+            prop_assert!(fast.is_ok());
+            prop_assert_eq!(&fast_buf[..k], &clean[..k]);
+        }
+
+        // Warm-scratch rerun on the same corrupted input: reuse must be
+        // invisible in both the result and the buffer.
+        let mut warm_buf = word;
+        let warm = code.decode_with(&mut warm_buf, &era, &mut scratch);
+        prop_assert_eq!(&warm, &fast);
+        prop_assert_eq!(&warm_buf, &fast_buf);
+    }
+
+    #[test]
+    fn expansion_roundtrip_matches_reference(
+        seed in any::<u64>(),
+        mu_tenths in 3u32..30,
+        msg_bits in 1usize..600,
+        jam_fraction in 0.0f64..0.7,
+    ) {
+        let mu = f64::from(mu_tenths) / 10.0;
+        let code = ExpansionCode::new(mu).unwrap();
+        let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+        let msg: Vec<bool> = (0..msg_bits).map(|_| r.gen()).collect();
+
+        let mut scratch = ExpansionScratch::new();
+        let mut fast_coded = Vec::new();
+        code.encode_bits_into(&msg, &mut scratch, &mut fast_coded).unwrap();
+        let slow_coded = expand::reference::encode_bits(&code, &msg).unwrap();
+        prop_assert_eq!(&fast_coded, &slow_coded);
+
+        // Jam a contiguous burst (flagged erasures) plus sparse silent flips.
+        let mut coded = fast_coded.clone();
+        let mut erased = vec![false; coded.len()];
+        let burst = (coded.len() as f64 * jam_fraction) as usize;
+        let start = r.gen_range(0..coded.len());
+        for i in 0..burst {
+            let p = (start + i) % coded.len();
+            erased[p] = true;
+            coded[p] = r.gen();
+        }
+        for _ in 0..r.gen_range(0..4) {
+            let p = r.gen_range(0..coded.len());
+            coded[p] = !coded[p];
+        }
+
+        let mut fast_out = Vec::new();
+        let fast = code
+            .decode_bits_into(&coded, &erased, msg.len(), &mut scratch, &mut fast_out)
+            .map(|()| fast_out.clone());
+        let slow = expand::reference::decode_bits(&code, &coded, &erased, msg.len());
+        prop_assert_eq!(&fast, &slow);
+
+        // Same decode with warm scratch: identical verdict and bits.
+        let mut warm_out = Vec::new();
+        let warm = code
+            .decode_bits_into(&coded, &erased, msg.len(), &mut scratch, &mut warm_out)
+            .map(|()| warm_out.clone());
+        prop_assert_eq!(&fast, &warm);
+    }
+
+    #[test]
+    fn packed_bit_conversion_is_involutive(bits in proptest::collection::vec(any::<bool>(), 0..700)) {
+        let mut packed = Vec::new();
+        expand::pack_bits_into(&bits, &mut packed);
+        prop_assert_eq!(&packed, &expand::bits_to_bytes(&bits));
+        let mut back = Vec::new();
+        expand::append_bits_from_bytes(&packed, &mut back);
+        prop_assert_eq!(&back[..bits.len()], &bits[..]);
+    }
+}
+
+/// One shared scratch across many decodes of *different* geometries must
+/// behave exactly like a fresh scratch per call. This is the determinism
+/// guarantee the protocol layer (FrameCodec) relies on.
+#[test]
+fn scratch_reuse_across_geometries_is_invisible() {
+    let mut r = rand::rngs::StdRng::seed_from_u64(0xECC5);
+    let mut shared = ExpansionScratch::new();
+    for trial in 0..60 {
+        let mu = [0.5, 1.0, 2.0][trial % 3];
+        let len = r.gen_range(1..400);
+        let code = ExpansionCode::new(mu).unwrap();
+        let msg: Vec<bool> = (0..len).map(|_| r.gen()).collect();
+
+        let mut coded_shared = Vec::new();
+        code.encode_bits_into(&msg, &mut shared, &mut coded_shared)
+            .unwrap();
+        let mut fresh = ExpansionScratch::new();
+        let mut coded_fresh = Vec::new();
+        code.encode_bits_into(&msg, &mut fresh, &mut coded_fresh)
+            .unwrap();
+        assert_eq!(coded_shared, coded_fresh, "trial {trial}");
+
+        let mut coded = coded_shared;
+        let mut erased = vec![false; coded.len()];
+        let burst = coded.len() * 2 / 5;
+        for (i, (c, e)) in coded.iter_mut().zip(erased.iter_mut()).enumerate() {
+            if i < burst {
+                *c = r.gen();
+                *e = true;
+            }
+        }
+        let mut out_shared = Vec::new();
+        let res_shared = code.decode_bits_into(&coded, &erased, len, &mut shared, &mut out_shared);
+        let mut out_fresh = Vec::new();
+        let res_fresh = code.decode_bits_into(&coded, &erased, len, &mut fresh, &mut out_fresh);
+        assert_eq!(res_shared, res_fresh, "trial {trial}");
+        assert_eq!(out_shared, out_fresh, "trial {trial}");
+        if res_shared.is_ok() {
+            assert_eq!(out_shared, msg, "trial {trial}");
+        }
+    }
+}
+
+/// The in-place data decode agrees with the copying one and with the
+/// reference pipeline, including which `k` bytes it exposes.
+#[test]
+fn in_place_decode_agrees_with_copying_decode() {
+    let code = RsCode::new(255, 223).unwrap();
+    let mut r = rand::rngs::StdRng::seed_from_u64(7);
+    let mut scratch = RsScratch::new();
+    for _ in 0..20 {
+        let data: Vec<u8> = (0..223).map(|_| r.gen()).collect();
+        let mut word = code.encode(&data).unwrap();
+        let mut era = Vec::new();
+        for _ in 0..20 {
+            let p = r.gen_range(0..255);
+            if !era.contains(&p) {
+                era.push(p);
+                word[p] = r.gen();
+            }
+        }
+        let copied = code.decode_to_data(&word, &era).unwrap();
+        let in_place = code
+            .decode_data_in_place(&mut word, &era, &mut scratch)
+            .unwrap();
+        assert_eq!(in_place, &copied[..]);
+        assert_eq!(in_place, &data[..]);
+    }
+}
