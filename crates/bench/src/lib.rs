@@ -1042,9 +1042,10 @@ pub fn baselines() -> FigureOutput {
 /// jammer scenarios. This is the experiment that exercises the `dsss.*`,
 /// `chiplink.*`, and chip-granular `jammer.*` metrics.
 pub fn chiplevel(seed: u64) -> FigureOutput {
-    use jrsnd::chiplink::{run_handshake_with, ChipJammer, Stage};
+    use jrsnd::chiplink::{run_handshake_cached, ChipJammer, Stage};
     use jrsnd::messages::FrameCodec;
     use jrsnd_crypto::ibc::Authority;
+    use jrsnd_crypto::session::SessionCodeCache;
     use jrsnd_dsss::code::SpreadCode;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -1093,12 +1094,14 @@ pub fn chiplevel(seed: u64) -> FigureOutput {
         "scan correlations".into(),
         "sync retries".into(),
     ]);
-    // One ECC codec (tables + scratch) shared by all four scenarios: after
-    // the first handshake warms it up, the remaining runs do zero ECC
-    // allocations.
+    // One ECC codec (tables + scratch) and one session-code cache shared
+    // by all four scenarios: after the first handshake warms them up, the
+    // remaining runs do zero ECC allocations and their session-code
+    // derivations are cache lookups (same pair key, same nonce schedule).
     let mut codec = FrameCodec::new(params.mu).expect("Table 1 mu is valid");
+    let mut cache = SessionCodeCache::new(32);
     for (i, (name, jammer)) in scenarios.iter().enumerate() {
-        let report = run_handshake_with(
+        let report = run_handshake_cached(
             &params,
             &authority,
             &a_codes,
@@ -1108,6 +1111,7 @@ pub fn chiplevel(seed: u64) -> FigureOutput {
             jammer.as_ref(),
             seed ^ (0x9e37 + i as u64),
             &mut codec,
+            &mut cache,
         );
         let stage = match report.stage {
             Stage::NoHello => "no HELLO",

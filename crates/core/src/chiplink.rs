@@ -13,6 +13,7 @@ use crate::handshake::{Initiator, Responder};
 use crate::messages::{FrameCodec, WireConfig};
 use crate::params::Params;
 use jrsnd_crypto::ibc::{Authority, NodeId};
+use jrsnd_crypto::session::SessionCodeCache;
 use jrsnd_dsss::channel::ChipChannel;
 use jrsnd_dsss::code::{CodeId, SpreadCode};
 use jrsnd_dsss::correlate::MultiCorrelator;
@@ -204,6 +205,56 @@ pub fn run_handshake_with(
     seed: u64,
     codec: &mut FrameCodec,
 ) -> HandshakeReport {
+    run_handshake_inner(
+        params, authority, a_codes, b_codes, shared_a, shared_b, jammer, seed, codec, None,
+    )
+}
+
+/// [`run_handshake_with`] plus a caller-owned [`SessionCodeCache`]: both
+/// endpoints resolve `C_AB` through the cache, so the second endpoint of
+/// each pair (and any retry of the same `(key, nonce pair)`) reuses the
+/// first derivation instead of recomputing it. Reports are identical to
+/// [`run_handshake`] — the cached derivation is byte-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn run_handshake_cached(
+    params: &Params,
+    authority: &Authority,
+    a_codes: &[SpreadCode],
+    b_codes: &[SpreadCode],
+    shared_a: usize,
+    shared_b: usize,
+    jammer: Option<&ChipJammer>,
+    seed: u64,
+    codec: &mut FrameCodec,
+    cache: &mut SessionCodeCache,
+) -> HandshakeReport {
+    run_handshake_inner(
+        params,
+        authority,
+        a_codes,
+        b_codes,
+        shared_a,
+        shared_b,
+        jammer,
+        seed,
+        codec,
+        Some(cache),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_handshake_inner(
+    params: &Params,
+    authority: &Authority,
+    a_codes: &[SpreadCode],
+    b_codes: &[SpreadCode],
+    shared_a: usize,
+    shared_b: usize,
+    jammer: Option<&ChipJammer>,
+    seed: u64,
+    codec: &mut FrameCodec,
+    mut cache: Option<&mut SessionCodeCache>,
+) -> HandshakeReport {
     assert!(
         !a_codes.is_empty() && !b_codes.is_empty(),
         "empty code sets"
@@ -352,7 +403,10 @@ pub fn run_handshake_with(
         seed ^ 0x3333,
         &mut rng,
     )
-    .and_then(|bits| responder.on_auth_a(&bits).ok());
+    .and_then(|bits| match cache.as_deref_mut() {
+        Some(c) => responder.on_auth_a_cached(&bits, c).ok(),
+        None => responder.on_auth_a(&bits).ok(),
+    });
     let Some((auth_b_bits, est_b)) = auth_b_frame else {
         return HandshakeReport {
             discovered: false,
@@ -375,7 +429,10 @@ pub fn run_handshake_with(
         seed ^ 0x4444,
         &mut rng,
     )
-    .and_then(|bits| initiator.on_auth_b(&bits).ok());
+    .and_then(|bits| match cache {
+        Some(c) => initiator.on_auth_b_cached(&bits, c).ok(),
+        None => initiator.on_auth_b(&bits).ok(),
+    });
     let Some(est_a) = est_a else {
         return HandshakeReport {
             discovered: false,
@@ -495,6 +552,50 @@ mod tests {
             );
             assert_eq!(fresh, reused, "seed {seed}, jam {jam}");
         }
+    }
+
+    #[test]
+    fn shared_session_cache_reproduces_fresh_reports() {
+        // One SessionCodeCache threaded through several handshakes (incl.
+        // a jammed one) must report exactly what the uncached path does:
+        // the cache changes work, never outcomes.
+        let s = setup(8);
+        let jammer = ChipJammer::from_start(s.a_codes[1].clone(), 0.20, 1);
+        let mut codec = crate::messages::FrameCodec::new(s.params.mu).unwrap();
+        let mut cache = SessionCodeCache::new(32);
+        for (seed, jam) in [(401u64, false), (402, true), (401, false)] {
+            let j = jam.then_some(&jammer);
+            let fresh = run_handshake(
+                &s.params,
+                &s.authority,
+                &s.a_codes,
+                &s.b_codes,
+                1,
+                1,
+                j,
+                seed,
+            );
+            let cached = run_handshake_cached(
+                &s.params,
+                &s.authority,
+                &s.a_codes,
+                &s.b_codes,
+                1,
+                1,
+                j,
+                seed,
+                &mut codec,
+                &mut cache,
+            );
+            assert_eq!(fresh, cached, "seed {seed}, jam {jam}");
+        }
+        // Each completed handshake inserts one pair entry (both endpoints
+        // share it); the repeated seed 401 run hit instead of inserting.
+        assert!(cache.len() <= 2, "cache kept one entry per distinct pair");
+        assert!(
+            !cache.is_empty(),
+            "completed handshakes populated the cache"
+        );
     }
 
     #[test]

@@ -128,6 +128,14 @@ pub fn simulate_pair_with(
         vec![candidate_codes[pick]]
     };
 
+    // Crypto-cost accounting for the batched datapath: each sub-session
+    // tail carries two MACs computed and two verified (messages 3/4),
+    // while C_AB is derived once per pair — sub-sessions beyond the first
+    // hit the session-code cache instead of rederiving the PRF stream.
+    metric_counter!("dndp.mac_operations").add(4 * session_codes.len() as u64);
+    metric_counter!("dndp.session_derivations").inc();
+    metric_counter!("dndp.session_derivations_saved").add(session_codes.len() as u64 - 1);
+
     // Phase 3: sub-sessions whose remaining three messages all survive.
     let surviving = session_codes
         .iter()

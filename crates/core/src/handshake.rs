@@ -17,13 +17,22 @@
 //! with strict state checking, MAC verification, replay protection
 //! ([`jrsnd_crypto::replay::ReplayGuard`]), and the session spread code
 //! `C_AB = h_{K_AB}(n_A ⊗ n_B)` as the final product on both sides.
+//!
+//! Crypto datapath: as soon as an endpoint learns its peer it precomputes
+//! the pairwise [`HmacKey`] (ipad/opad compression states), so every
+//! subsequent tag computation/verification and the session-code PRF run
+//! on the two-compressions-per-MAC fast path. The `*_cached` entry points
+//! additionally consult a shared [`SessionCodeCache`], so a retry — or the
+//! opposite endpoint of a locally simulated pair — never rederives
+//! `C_AB`.
 
 use crate::messages::{MessageKind, WireConfig};
-use jrsnd_crypto::ibc::{IdPrivateKey, NodeId};
-use jrsnd_crypto::mac::auth_tag;
+use jrsnd_crypto::hmac::HmacKey;
+use jrsnd_crypto::ibc::{IdPrivateKey, NodeId, SharedKey};
+use jrsnd_crypto::mac::auth_tag_keyed;
 use jrsnd_crypto::nonce::Nonce;
 use jrsnd_crypto::replay::ReplayGuard;
-use jrsnd_crypto::session::derive_session_code;
+use jrsnd_crypto::session::{derive_session_code_with, SessionCodeCache};
 use jrsnd_dsss::code::CodeId;
 use jrsnd_sim::rng::SimRng;
 use std::fmt;
@@ -101,6 +110,10 @@ pub struct Initiator {
     state: InitiatorState,
     peer: Option<NodeId>,
     code: Option<CodeId>,
+    /// Pairwise key for the confirmed peer, with its HMAC pad states
+    /// precomputed (set on CONFIRM, reused for AUTH_A, AUTH_B, and the
+    /// session-code PRF).
+    pair: Option<(SharedKey, HmacKey)>,
 }
 
 impl Initiator {
@@ -115,6 +128,7 @@ impl Initiator {
             state: InitiatorState::AwaitConfirm,
             peer: None,
             code: None,
+            pair: None,
         }
     }
 
@@ -151,7 +165,10 @@ impl Initiator {
         }
         self.peer = Some(peer);
         self.code = Some(code);
-        let tag = auth_tag(&self.key.shared_key(peer), self.key.id(), self.nonce);
+        let k_ab = self.key.shared_key(peer);
+        let hk = HmacKey::precompute(k_ab.as_bytes());
+        let tag = auth_tag_keyed(&hk, self.key.id(), self.nonce);
+        self.pair = Some((k_ab, hk));
         let frame = self
             .wire
             .encode_auth(self.key.id(), self.nonce, &tag)
@@ -166,6 +183,29 @@ impl Initiator {
     ///
     /// [`HandshakeError`] on state, parse, tag, or identity violations.
     pub fn on_auth_b(&mut self, bits: &[bool]) -> Result<Established, HandshakeError> {
+        self.on_auth_b_impl(bits, None)
+    }
+
+    /// [`on_auth_b`](Initiator::on_auth_b), but resolving the session code
+    /// through a shared [`SessionCodeCache`] — a retry (or the peer
+    /// endpoint in a local simulation) reuses the cached derivation.
+    ///
+    /// # Errors
+    ///
+    /// [`HandshakeError`] on state, parse, tag, or identity violations.
+    pub fn on_auth_b_cached(
+        &mut self,
+        bits: &[bool],
+        cache: &mut SessionCodeCache,
+    ) -> Result<Established, HandshakeError> {
+        self.on_auth_b_impl(bits, Some(cache))
+    }
+
+    fn on_auth_b_impl(
+        &mut self,
+        bits: &[bool],
+        cache: Option<&mut SessionCodeCache>,
+    ) -> Result<Established, HandshakeError> {
         if self.state != InitiatorState::AwaitAuthB {
             return Err(self.fail_state());
         }
@@ -177,19 +217,29 @@ impl Initiator {
             self.state = InitiatorState::Failed;
             return Err(HandshakeError::PeerMismatch);
         }
-        let k_ab = self.key.shared_key(peer);
+        let (k_ab, hk) = self.pair.as_ref().expect("pair key set on CONFIRM");
         if !self
             .wire
-            .tag_matches(&tag_bits, &auth_tag(&k_ab, peer, n_b))
+            .tag_matches(&tag_bits, &auth_tag_keyed(hk, peer, n_b))
         {
             self.state = InitiatorState::Failed;
             return Err(HandshakeError::BadTag { claimed: peer });
         }
         self.state = InitiatorState::Done;
+        let session_code = match cache {
+            Some(cache) => cache
+                .get_or_derive(k_ab, self.nonce, n_b, self.n_chips)
+                .to_vec(),
+            None => {
+                let mut code = Vec::new();
+                derive_session_code_with(hk, self.nonce, n_b, self.n_chips, &mut code);
+                code
+            }
+        };
         Ok(Established {
             peer,
             discovery_code: self.code.expect("set on CONFIRM"),
-            session_code: derive_session_code(&k_ab, self.nonce, n_b, self.n_chips),
+            session_code,
         })
     }
 
@@ -233,6 +283,10 @@ pub struct Responder {
     state: ResponderState,
     peer: Option<NodeId>,
     code: Option<CodeId>,
+    /// Pairwise key for the peer that said HELLO, with precomputed HMAC
+    /// pad states (set on HELLO, reused across AUTH_A/AUTH_B and the
+    /// session-code PRF).
+    pair: Option<(SharedKey, HmacKey)>,
     replay: ReplayGuard,
 }
 
@@ -259,6 +313,7 @@ impl Responder {
             state: ResponderState::AwaitHello,
             peer: None,
             code: None,
+            pair: None,
             replay: ReplayGuard::new(replay_capacity),
         }
     }
@@ -282,6 +337,9 @@ impl Responder {
         }
         self.peer = Some(peer);
         self.code = Some(code);
+        let k_ba = self.key.shared_key(peer);
+        let hk = HmacKey::precompute(k_ba.as_bytes());
+        self.pair = Some((k_ba, hk));
         self.state = ResponderState::AwaitAuthA;
         Ok(self
             .wire
@@ -297,6 +355,29 @@ impl Responder {
     /// [`HandshakeError`] on state, parse, tag, identity, or replay
     /// violations.
     pub fn on_auth_a(&mut self, bits: &[bool]) -> Result<(Vec<bool>, Established), HandshakeError> {
+        self.on_auth_a_impl(bits, None)
+    }
+
+    /// [`on_auth_a`](Responder::on_auth_a), but resolving the session code
+    /// through a shared [`SessionCodeCache`].
+    ///
+    /// # Errors
+    ///
+    /// [`HandshakeError`] on state, parse, tag, identity, or replay
+    /// violations.
+    pub fn on_auth_a_cached(
+        &mut self,
+        bits: &[bool],
+        cache: &mut SessionCodeCache,
+    ) -> Result<(Vec<bool>, Established), HandshakeError> {
+        self.on_auth_a_impl(bits, Some(cache))
+    }
+
+    fn on_auth_a_impl(
+        &mut self,
+        bits: &[bool],
+        cache: Option<&mut SessionCodeCache>,
+    ) -> Result<(Vec<bool>, Established), HandshakeError> {
         if self.state != ResponderState::AwaitAuthA {
             return Err(self.fail_state());
         }
@@ -308,10 +389,10 @@ impl Responder {
             self.state = ResponderState::Failed;
             return Err(HandshakeError::PeerMismatch);
         }
-        let k_ba = self.key.shared_key(peer);
+        let (k_ba, hk) = self.pair.as_ref().expect("pair key set on HELLO");
         if !self
             .wire
-            .tag_matches(&tag_bits, &auth_tag(&k_ba, peer, n_a))
+            .tag_matches(&tag_bits, &auth_tag_keyed(hk, peer, n_a))
         {
             self.state = ResponderState::Failed;
             return Err(HandshakeError::BadTag { claimed: peer });
@@ -321,18 +402,28 @@ impl Responder {
             self.state = ResponderState::Failed;
             return Err(HandshakeError::Replayed { peer });
         }
-        let tag_b = auth_tag(&k_ba, self.key.id(), self.nonce);
+        let tag_b = auth_tag_keyed(hk, self.key.id(), self.nonce);
         let frame = self
             .wire
             .encode_auth(self.key.id(), self.nonce, &tag_b)
             .expect("fields fit");
         self.state = ResponderState::Done;
+        let session_code = match cache {
+            Some(cache) => cache
+                .get_or_derive(k_ba, self.nonce, n_a, self.n_chips)
+                .to_vec(),
+            None => {
+                let mut code = Vec::new();
+                derive_session_code_with(hk, self.nonce, n_a, self.n_chips, &mut code);
+                code
+            }
+        };
         Ok((
             frame,
             Established {
                 peer,
                 discovery_code: self.code.expect("set on HELLO"),
-                session_code: derive_session_code(&k_ba, self.nonce, n_a, self.n_chips),
+                session_code,
             },
         ))
     }
@@ -364,6 +455,7 @@ mod tests {
     use super::*;
     use crate::params::Params;
     use jrsnd_crypto::ibc::Authority;
+    use jrsnd_crypto::mac::auth_tag;
     use rand::SeedableRng;
 
     fn setup(seed: u64) -> (Initiator, Responder) {
@@ -403,6 +495,27 @@ mod tests {
         assert_eq!(est_a.discovery_code, CodeId(7));
         assert_eq!(est_a.session_code, est_b.session_code);
         assert_eq!(est_a.session_code.len(), 512);
+    }
+
+    #[test]
+    fn cached_exchange_matches_uncached_and_hits_once() {
+        // Same seed => same nonces => the cached run must reproduce the
+        // uncached session codes bit for bit.
+        let (plain_a, plain_b) = run_clean(42);
+        let (mut a, mut b) = setup(42);
+        let code = CodeId(7);
+        let mut cache = jrsnd_crypto::session::SessionCodeCache::new(8);
+        let confirm = b.on_hello(&a.hello_frame(), code).unwrap();
+        let auth_a = a.on_confirm(&confirm, code).unwrap();
+        // Responder derives (miss) …
+        let (auth_b, est_b) = b.on_auth_a_cached(&auth_a, &mut cache).unwrap();
+        assert_eq!(cache.len(), 1);
+        // … and the initiator's derivation of the same pair is the hit.
+        let est_a = a.on_auth_b_cached(&auth_b, &mut cache).unwrap();
+        assert_eq!(cache.len(), 1, "nonce-symmetric key: still one entry");
+        assert_eq!(est_a.session_code, plain_a.session_code);
+        assert_eq!(est_b.session_code, plain_b.session_code);
+        assert_eq!(est_a.session_code, est_b.session_code);
     }
 
     #[test]

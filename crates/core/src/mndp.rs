@@ -21,8 +21,11 @@
 
 use crate::messages::{ChainEntry, MndpRequest, MndpResponse};
 use crate::node::{DiscoveryKind, Node};
-use jrsnd_crypto::ibc::NodeId;
+use jrsnd_crypto::ibc::{NodeId, SharedKey};
 use jrsnd_crypto::nonce::Nonce;
+use jrsnd_crypto::prf::PrfScratch;
+use jrsnd_crypto::session::{derive_session_codes, SessionCodeCache};
+use jrsnd_dsss::code::SpreadCode;
 use jrsnd_sim::geom::Point;
 use jrsnd_sim::topology::Graph;
 use jrsnd_sim::{metric_counter, metric_histogram, sim_trace};
@@ -298,6 +301,42 @@ fn deliver_response(
         Some(last) if resp.chain.len() > 1 => nodes[initiator].is_logical(last.id.0 as usize),
         _ => true, // direct response from a 1-hop... cannot happen (dropped as already-logical)
     }
+}
+
+/// Derives the source's outstanding session-code bank — one spread code
+/// `C_BA = h_{K_AB}(n_A ⊗ n_B)` per pending M-NDP response — in one
+/// lane-parallel PRF pass over all candidates, reusing `scratch` across
+/// calls. The result feeds [`closing_hello_heard`] /
+/// [`closing_hello_heard_coded`] as the receiver bank.
+///
+/// `pending` holds `(pairwise key, source nonce, responder nonce)` per
+/// outstanding response; order is preserved.
+pub fn closing_code_bank(
+    pending: &[(&SharedKey, Nonce, Nonce)],
+    n_chips: usize,
+    scratch: &mut PrfScratch,
+) -> Vec<SpreadCode> {
+    derive_session_codes(pending, n_chips, scratch)
+        .iter()
+        .map(|bits| SpreadCode::from_bits(bits))
+        .collect()
+}
+
+/// [`closing_code_bank`] through a shared [`SessionCodeCache`]: retries of
+/// the same initiation — and the responder's own symmetric derivation —
+/// reuse the cached PRF stream instead of rederiving it. Identical output
+/// to the batched path.
+pub fn closing_code_bank_cached(
+    cache: &mut SessionCodeCache,
+    pending: &[(&SharedKey, Nonce, Nonce)],
+    n_chips: usize,
+) -> Vec<SpreadCode> {
+    pending
+        .iter()
+        .map(|&(key, mine, theirs)| {
+            SpreadCode::from_bits(cache.get_or_derive(key, mine, theirs, n_chips))
+        })
+        .collect()
 }
 
 /// Chip-level check of the closing HELLO (Section V-C, final step): the
@@ -723,6 +762,41 @@ mod tests {
             &mut codec,
         );
         assert_eq!(again, Some(2));
+    }
+
+    #[test]
+    fn code_bank_helpers_match_scalar_derivation_and_feed_the_receiver() {
+        use jrsnd_crypto::session::derive_session_code;
+        let authority = Authority::from_seed(b"bank-test");
+        let k0 = authority.issue(NodeId(0));
+        let keys: Vec<SharedKey> = (1..=10u32).map(|i| k0.shared_key(NodeId(i))).collect();
+        let n_a = Nonce::from_value(0xA0);
+        let pending: Vec<(&SharedKey, Nonce, Nonce)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k, n_a, Nonce::from_value(0xB0 + i as u32)))
+            .collect();
+        let mut scratch = PrfScratch::new();
+        let bank = closing_code_bank(&pending, 512, &mut scratch);
+        let mut cache = SessionCodeCache::new(32);
+        let cached = closing_code_bank_cached(&mut cache, &pending, 512);
+        assert_eq!(bank, cached);
+        for (i, (k, a, b)) in pending.iter().enumerate() {
+            let bits = derive_session_code(k, *a, *b, 512);
+            assert_eq!(bank[i], SpreadCode::from_bits(&bits), "entry {i}");
+        }
+        assert_eq!(cache.len(), pending.len());
+        // Retrying the same initiation reuses the cache, never rederives.
+        let again = closing_code_bank_cached(&mut cache, &pending, 512);
+        assert_eq!(again, bank);
+        assert_eq!(cache.len(), pending.len(), "retry must not grow the cache");
+        // The derived bank actually hears candidate 4's closing HELLO.
+        let refs: Vec<&SpreadCode> = bank.iter().collect();
+        let hello: Vec<bool> = (0..16).map(|i| i % 5 != 0).collect();
+        assert_eq!(
+            closing_hello_heard(&hello, &bank[4], &refs, Some(1), 0.02, 21, 0.15),
+            Some(4)
+        );
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! sets can later be handed to joining nodes.
 
 use crate::params::Params;
-use jrsnd_crypto::prf::prf_expand_bits;
+use jrsnd_crypto::hmac::HmacKey;
+use jrsnd_crypto::prf::{prf_expand_bits_into, prf_expand_bits_lanes, PrfScratch};
 use jrsnd_dsss::code::{CodeId, CodePool, SpreadCode};
 use jrsnd_sim::rng::SimRng;
 use rand::seq::SliceRandom;
@@ -42,17 +43,26 @@ use std::collections::HashSet;
 /// Panics if `s == 0` or `n_chips == 0`.
 pub fn derive_code_pool(secret: &[u8], s: usize, n_chips: usize) -> CodePool {
     assert!(s > 0 && n_chips > 0, "pool and code sizes must be positive");
-    let codes = (0..s)
-        .map(|i| {
-            let bits = prf_expand_bits(
-                secret,
-                b"jr-snd/code-pool",
-                &(i as u64).to_be_bytes(),
-                n_chips,
-            );
-            SpreadCode::from_bits(&bits)
-        })
-        .collect();
+    const LABEL: &[u8] = b"jr-snd/code-pool";
+    // One key expansion for the whole pool, then the codes in lane-parallel
+    // chunks of eight (scalar tail): the authority's s-code pool is one
+    // batched PRF sweep. Byte-identical to s scalar expansions.
+    let key = HmacKey::precompute(secret);
+    let mut scratch = PrfScratch::new();
+    let mut codes = Vec::with_capacity(s);
+    let mut i = 0usize;
+    while i + 8 <= s {
+        let ctxs: [[u8; 8]; 8] = std::array::from_fn(|l| ((i + l) as u64).to_be_bytes());
+        let ctx_refs: [&[u8]; 8] = std::array::from_fn(|l| ctxs[l].as_slice());
+        let lanes = prf_expand_bits_lanes([&key; 8], LABEL, ctx_refs, n_chips, &mut scratch);
+        codes.extend(lanes.iter().map(|bits| SpreadCode::from_bits(bits)));
+        i += 8;
+    }
+    let mut bits = Vec::with_capacity(n_chips);
+    for j in i..s {
+        prf_expand_bits_into(&key, LABEL, &(j as u64).to_be_bytes(), n_chips, &mut bits);
+        codes.push(SpreadCode::from_bits(&bits));
+    }
     CodePool::from_codes(codes)
 }
 
@@ -381,6 +391,28 @@ mod tests {
         // A different secret yields a disjoint pool.
         let other = derive_code_pool(b"secret-2", 64, 256);
         assert_ne!(pool.code(CodeId(0)), other.code(CodeId(0)));
+    }
+
+    #[test]
+    fn batched_pool_matches_scalar_reference() {
+        // Lane-batched derivation must be byte-identical to the seed's
+        // scalar per-code expansion, across full-lane and tail shapes.
+        for s in [1usize, 7, 8, 9, 20] {
+            let pool = derive_code_pool(b"pool-equivalence", s, 128);
+            for i in 0..s {
+                let bits = jrsnd_crypto::prf::reference::prf_expand_bits(
+                    b"pool-equivalence",
+                    b"jr-snd/code-pool",
+                    &(i as u64).to_be_bytes(),
+                    128,
+                );
+                assert_eq!(
+                    pool.code(CodeId(i as u32)),
+                    &SpreadCode::from_bits(&bits),
+                    "s={s} code {i}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,11 @@
 //!
 //! * [`sha256`] / [`hmac`] / [`prf`] — SHA-256 (FIPS 180-4, validated
 //!   against NIST vectors), HMAC-SHA-256 (RFC 4231 vectors), and an
-//!   HKDF-style PRF for key/bit-stream expansion;
+//!   HKDF-style PRF for key/bit-stream expansion. Each has a multi-lane
+//!   batched fast path (struct-of-arrays compression kernel, precomputed
+//!   [`hmac::HmacKey`] pad states, reusable [`prf::PrfScratch`]) with the
+//!   seed scalar implementation retained in `reference` submodules as the
+//!   equivalence oracle;
 //! * [`ibc`] — a *simulated* identity-based cryptography layer standing in
 //!   for the pairing-based scheme of the paper's refs \[13\]/\[14\]: IDs are
 //!   public keys, the [`ibc::Authority`] issues [`ibc::IdPrivateKey`]s,
@@ -14,7 +18,9 @@
 //!   why the simulation preserves exactly the properties JR-SND uses);
 //! * [`mac`] / [`nonce`] / [`session`] — the handshake MAC `f_K(ID|n)`,
 //!   `l_n`-bit replay nonces, and the session spread-code derivation
-//!   `C_AB = h_{K_AB}(n_A ⊗ n_B)`.
+//!   `C_AB = h_{K_AB}(n_A ⊗ n_B)`, with batched derivation for m
+//!   candidate neighbors ([`session::derive_session_codes`]) and a
+//!   bounded [`session::SessionCodeCache`] so retries never rederive.
 //!
 //! # Examples
 //!
@@ -54,5 +60,8 @@ pub mod replay;
 pub mod session;
 pub mod sha256;
 
+pub use hmac::HmacKey;
 pub use ibc::{Authority, IbSignature, IdPrivateKey, NodeId, SharedKey, Verifier};
 pub use nonce::Nonce;
+pub use prf::PrfScratch;
+pub use session::SessionCodeCache;

@@ -5,7 +5,7 @@
 //! computed the same ID-based pairwise key and therefore holds a valid
 //! authority-issued private key.
 
-use crate::hmac::{ct_eq, hmac_sha256_parts};
+use crate::hmac::{ct_eq, hmac_sha256_parts, HmacKey};
 use crate::ibc::{NodeId, SharedKey};
 use crate::nonce::Nonce;
 
@@ -39,6 +39,24 @@ pub fn auth_tag(key: &SharedKey, id: NodeId, nonce: Nonce) -> AuthTag {
 /// Verifies a handshake MAC in constant time.
 pub fn verify_auth_tag(key: &SharedKey, id: NodeId, nonce: Nonce, tag: &AuthTag) -> bool {
     let expect = auth_tag(key, id, nonce);
+    ct_eq(&expect.0, &tag.0)
+}
+
+/// Computes `f_K(ID | n)` against a precomputed [`HmacKey`]: two
+/// compressions instead of four full hashes. Byte-identical to
+/// [`auth_tag`] for an `HmacKey` precomputed from the same pairwise key.
+///
+/// A handshake computes and verifies tags for the same pair key several
+/// times (both directions, plus retries); precomputing once per learned
+/// peer amortizes the pad-block compressions across all of them.
+pub fn auth_tag_keyed(key: &HmacKey, id: NodeId, nonce: Nonce) -> AuthTag {
+    AuthTag(key.mac_parts(&[b"f_K", &id.to_bytes(), &nonce.to_bytes()]))
+}
+
+/// Verifies a handshake MAC in constant time against a precomputed
+/// [`HmacKey`].
+pub fn verify_auth_tag_keyed(key: &HmacKey, id: NodeId, nonce: Nonce, tag: &AuthTag) -> bool {
+    let expect = auth_tag_keyed(key, id, nonce);
     ct_eq(&expect.0, &tag.0)
 }
 
@@ -79,6 +97,18 @@ mod tests {
             !verify_auth_tag(&other_key, NodeId(10), n, &tag),
             "key swap"
         );
+    }
+
+    #[test]
+    fn keyed_variants_match_from_scratch_path() {
+        let (kab, kba) = keypair();
+        let hk_ab = HmacKey::precompute(kab.as_bytes());
+        let hk_ba = HmacKey::precompute(kba.as_bytes());
+        let n = Nonce::from_value(0xBEEF);
+        let tag = auth_tag_keyed(&hk_ab, NodeId(10), n);
+        assert_eq!(tag, auth_tag(&kab, NodeId(10), n));
+        assert!(verify_auth_tag_keyed(&hk_ba, NodeId(10), n, &tag));
+        assert!(!verify_auth_tag_keyed(&hk_ba, NodeId(11), n, &tag));
     }
 
     #[test]

@@ -5,10 +5,24 @@
 //! `h_*(·)` as "a cryptographic hash function of N bits keyed with the
 //! subscript"; we realise it as the HMAC-based PRF expanded to the chip
 //! length `N`.
+//!
+//! Beyond the seed scalar [`derive_session_code`], this module provides
+//! the batched [`derive_session_codes`] (m candidate neighbors hashed in
+//! one lane-parallel PRF sweep — the M-NDP closing-HELLO bank check and
+//! the bench harness use it) and the bounded [`SessionCodeCache`]
+//! (retries and repeated closing-HELLO checks of the same pair never
+//! rederive).
 
+use std::collections::{HashMap, VecDeque};
+
+use crate::hmac::{precompute_lanes, HmacKey};
 use crate::ibc::SharedKey;
 use crate::nonce::Nonce;
-use crate::prf::prf_expand_bits;
+use crate::prf::{prf_expand_bits, prf_expand_bits_into, prf_expand_bits_lanes, PrfScratch};
+use jrsnd_sim::metric_counter;
+
+/// The PRF label namespacing session spread codes.
+const LABEL: &[u8] = b"session-code";
 
 /// Derives the `n_chips`-bit session spread code from the pairwise key and
 /// the two handshake nonces.
@@ -44,7 +58,179 @@ pub fn derive_session_code(
 ) -> Vec<bool> {
     assert!(n_chips > 0, "session code must have at least one chip");
     let xored = my_nonce.xor(peer_nonce);
-    prf_expand_bits(key.as_bytes(), b"session-code", &xored.to_bytes(), n_chips)
+    prf_expand_bits(key.as_bytes(), LABEL, &xored.to_bytes(), n_chips)
+}
+
+/// Derives the session code against a precomputed [`HmacKey`] into a
+/// caller-owned buffer — the allocation-free warm path. Byte-identical to
+/// [`derive_session_code`] for an `HmacKey` precomputed from the same
+/// pairwise key.
+///
+/// # Panics
+///
+/// Panics if `n_chips` is zero.
+pub fn derive_session_code_with(
+    key: &HmacKey,
+    my_nonce: Nonce,
+    peer_nonce: Nonce,
+    n_chips: usize,
+    out: &mut Vec<bool>,
+) {
+    assert!(n_chips > 0, "session code must have at least one chip");
+    let xored = my_nonce.xor(peer_nonce);
+    prf_expand_bits_into(key, LABEL, &xored.to_bytes(), n_chips, out);
+}
+
+/// Derives session codes for `m` candidate pairs in lane-parallel chunks
+/// of eight (scalar remainder), one `(pairwise key, my nonce, peer
+/// nonce)` triple per candidate. Byte-identical per entry to
+/// [`derive_session_code`].
+///
+/// This is the M-NDP closing-HELLO shape: a node testing which of its m
+/// candidate neighbors sent a HELLO derives all m codes in one sweep.
+///
+/// # Panics
+///
+/// Panics if `n_chips` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_crypto::ibc::{Authority, NodeId};
+/// use jrsnd_crypto::nonce::Nonce;
+/// use jrsnd_crypto::session::{derive_session_code, derive_session_codes};
+/// use jrsnd_crypto::prf::PrfScratch;
+///
+/// let auth = Authority::from_seed(b"demo");
+/// let ka = auth.issue(NodeId(1));
+/// let pairs: Vec<_> = (2..7u32)
+///     .map(|p| (ka.shared_key(NodeId(p)), Nonce::from_value(1), Nonce::from_value(p)))
+///     .collect();
+/// let refs: Vec<_> = pairs.iter().map(|(k, a, b)| (k, *a, *b)).collect();
+/// let codes = derive_session_codes(&refs, 256, &mut PrfScratch::new());
+/// assert_eq!(codes.len(), 5);
+/// assert_eq!(codes[3], derive_session_code(&pairs[3].0, pairs[3].1, pairs[3].2, 256));
+/// ```
+pub fn derive_session_codes(
+    pairs: &[(&SharedKey, Nonce, Nonce)],
+    n_chips: usize,
+    scratch: &mut PrfScratch,
+) -> Vec<Vec<bool>> {
+    assert!(n_chips > 0, "session code must have at least one chip");
+    let mut out = Vec::with_capacity(pairs.len());
+    let mut chunks = pairs.chunks_exact(8);
+    for chunk in &mut chunks {
+        let keys: [HmacKey; 8] =
+            precompute_lanes(std::array::from_fn(|l| chunk[l].0.as_bytes().as_slice()));
+        let key_refs: [&HmacKey; 8] = std::array::from_fn(|l| &keys[l]);
+        let ctxs: [[u8; 4]; 8] = std::array::from_fn(|l| chunk[l].1.xor(chunk[l].2).to_bytes());
+        let ctx_refs: [&[u8]; 8] = std::array::from_fn(|l| ctxs[l].as_slice());
+        out.extend(prf_expand_bits_lanes(
+            key_refs, LABEL, ctx_refs, n_chips, scratch,
+        ));
+    }
+    for &(key, my, peer) in chunks.remainder() {
+        out.push(derive_session_code(key, my, peer, n_chips));
+    }
+    out
+}
+
+/// Cache key: (pairwise key bytes, XOR of the two nonces, chip length).
+/// The nonce XOR is exactly what the PRF context binds, so the key is
+/// symmetric in the nonce order — the same entry serves both endpoints'
+/// derivations of one session.
+type CacheKey = ([u8; 32], [u8; 4], u32);
+
+/// A bounded FIFO cache of derived session codes.
+///
+/// Handshake retries, the M-NDP closing-HELLO bank check, and both ends
+/// of a local simulation rederive the same `(key, nonce pair)` code;
+/// caching turns those into a lookup (`crypto.cache_hits`). Eviction is
+/// oldest-first so a mobile node churning through neighbors cannot grow
+/// the cache without bound.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_crypto::ibc::{Authority, NodeId};
+/// use jrsnd_crypto::nonce::Nonce;
+/// use jrsnd_crypto::session::{derive_session_code, SessionCodeCache};
+///
+/// let auth = Authority::from_seed(b"demo");
+/// let k = auth.issue(NodeId(1)).shared_key(NodeId(2));
+/// let (na, nb) = (Nonce::from_value(3), Nonce::from_value(9));
+/// let mut cache = SessionCodeCache::new(16);
+/// let first = cache.get_or_derive(&k, na, nb, 512).to_vec();
+/// // Second lookup (even with the nonces swapped) is a cache hit.
+/// assert_eq!(cache.get_or_derive(&k, nb, na, 512), &first[..]);
+/// assert_eq!(first, derive_session_code(&k, na, nb, 512));
+/// ```
+#[derive(Debug)]
+pub struct SessionCodeCache {
+    capacity: usize,
+    map: HashMap<CacheKey, Vec<bool>>,
+    order: VecDeque<CacheKey>,
+}
+
+impl SessionCodeCache {
+    /// Creates a cache holding at most `capacity` codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "session-code cache needs capacity");
+        SessionCodeCache {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            order: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Returns the session code for `(key, nonce pair, n_chips)`, deriving
+    /// and inserting it on a miss. Byte-identical to
+    /// [`derive_session_code`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_chips` is zero.
+    pub fn get_or_derive(
+        &mut self,
+        key: &SharedKey,
+        my_nonce: Nonce,
+        peer_nonce: Nonce,
+        n_chips: usize,
+    ) -> &[bool] {
+        assert!(n_chips > 0, "session code must have at least one chip");
+        let ck: CacheKey = (
+            *key.as_bytes(),
+            my_nonce.xor(peer_nonce).to_bytes(),
+            n_chips as u32,
+        );
+        if self.map.contains_key(&ck) {
+            metric_counter!("crypto.cache_hits").inc();
+        } else {
+            if self.order.len() == self.capacity {
+                if let Some(oldest) = self.order.pop_front() {
+                    self.map.remove(&oldest);
+                }
+            }
+            let code = derive_session_code(key, my_nonce, peer_nonce, n_chips);
+            self.map.insert(ck, code);
+            self.order.push_back(ck);
+        }
+        self.map.get(&ck).expect("just ensured present")
+    }
+
+    /// Number of cached codes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -112,5 +298,84 @@ mod tests {
     fn zero_length_rejected() {
         let (kab, _) = key_pair();
         derive_session_code(&kab, Nonce::default(), Nonce::default(), 0);
+    }
+
+    #[test]
+    fn with_variant_matches_scalar() {
+        let (kab, _) = key_pair();
+        let hk = HmacKey::precompute(kab.as_bytes());
+        let mut out = Vec::new();
+        for len in [1usize, 100, 512, 1024] {
+            let (na, nb) = (Nonce::from_value(8), Nonce::from_value(9));
+            derive_session_code_with(&hk, na, nb, len, &mut out);
+            assert_eq!(out, derive_session_code(&kab, na, nb, len), "len {len}");
+        }
+    }
+
+    #[test]
+    fn batched_matches_scalar_for_every_remainder_shape() {
+        let auth = Authority::from_seed(b"batch");
+        let me = auth.issue(NodeId(0));
+        let keys: Vec<SharedKey> = (1..=20u32).map(|p| me.shared_key(NodeId(p))).collect();
+        let mut scratch = PrfScratch::new();
+        for m in [0usize, 1, 7, 8, 9, 16, 20] {
+            let pairs: Vec<(&SharedKey, Nonce, Nonce)> = (0..m)
+                .map(|i| {
+                    (
+                        &keys[i],
+                        Nonce::from_value(100 + i as u32),
+                        Nonce::from_value(200 + i as u32),
+                    )
+                })
+                .collect();
+            let codes = derive_session_codes(&pairs, 512, &mut scratch);
+            assert_eq!(codes.len(), m);
+            for (i, code) in codes.iter().enumerate() {
+                assert_eq!(
+                    code,
+                    &derive_session_code(pairs[i].0, pairs[i].1, pairs[i].2, 512),
+                    "m={m} entry {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_and_is_nonce_symmetric() {
+        let (kab, kba) = key_pair();
+        let (na, nb) = (Nonce::from_value(0xAAAAA), Nonce::from_value(0x55555));
+        let mut cache = SessionCodeCache::new(4);
+        let expect = derive_session_code(&kab, na, nb, 256);
+        assert_eq!(cache.get_or_derive(&kab, na, nb, 256), &expect[..]);
+        assert_eq!(cache.len(), 1);
+        // Same pair, swapped nonce order (the peer's view): still one entry.
+        assert_eq!(cache.get_or_derive(&kba, nb, na, 256), &expect[..]);
+        assert_eq!(cache.len(), 1);
+        // Different chip length is a distinct entry, not a wrong-size hit.
+        assert_eq!(cache.get_or_derive(&kab, na, nb, 128).len(), 128);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_eviction_is_bounded_fifo() {
+        let auth = Authority::from_seed(b"evict");
+        let me = auth.issue(NodeId(0));
+        let mut cache = SessionCodeCache::new(2);
+        let (na, nb) = (Nonce::from_value(1), Nonce::from_value(2));
+        for p in 1..=3u32 {
+            cache.get_or_derive(&me.shared_key(NodeId(p)), na, nb, 64);
+        }
+        assert_eq!(cache.len(), 2, "capacity bound holds");
+        // Oldest (peer 1) was evicted; rederiving it works and evicts peer 2.
+        let k1 = me.shared_key(NodeId(1));
+        let expect = derive_session_code(&k1, na, nb, 64);
+        assert_eq!(cache.get_or_derive(&k1, na, nb, 64), &expect[..]);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn zero_capacity_cache_rejected() {
+        SessionCodeCache::new(0);
     }
 }

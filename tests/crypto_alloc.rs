@@ -1,0 +1,133 @@
+//! Proves the steady-state crypto datapath is allocation-free.
+//!
+//! A counting global allocator wraps `System`; after one warm-up pass
+//! populates the `PrfScratch` buffers, the precomputed `HmacKey` states,
+//! and the caller-owned output vectors, further MAC / PRF / session-code
+//! derivations of the same shapes must perform **zero** heap allocations.
+//! This lives outside `jrsnd-crypto` because the crate itself forbids
+//! `unsafe`, which a `GlobalAlloc` impl requires.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use jrsnd_crypto::hmac::{mac_lanes, HmacKey};
+use jrsnd_crypto::ibc::{Authority, NodeId};
+use jrsnd_crypto::nonce::Nonce;
+use jrsnd_crypto::prf::prf_expand_bits_into;
+use jrsnd_crypto::session::derive_session_code_with;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how many heap allocations it performed.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn precomputed_mac_is_allocation_free() {
+    let key = HmacKey::precompute(b"pair key material");
+    let msg = [0xC3u8; 77];
+    // Warm-up: the lazily-initialised metric counters allocate once.
+    let mut sink = key.mac(&msg);
+    let allocs = count_allocs(|| {
+        for _ in 0..50 {
+            // Chain each tag into the next input so neither call is elided.
+            sink = key.mac(&sink);
+            sink = key.mac_parts(&[b"f_K", &sink, b"tail"]);
+        }
+    });
+    assert_eq!(allocs, 0, "steady-state MACs must not allocate");
+    assert_ne!(sink, [0u8; 32]);
+}
+
+#[test]
+fn lane_parallel_macs_are_allocation_free() {
+    let keys: Vec<HmacKey> = (0..8u8).map(|i| HmacKey::precompute(&[i; 16])).collect();
+    let msgs = [[0x5Au8; 64]; 8];
+    let key_refs: [&HmacKey; 8] = std::array::from_fn(|i| &keys[i]);
+    let msg_refs: [&[u8]; 8] = std::array::from_fn(|i| msgs[i].as_slice());
+    let mut tags = mac_lanes(key_refs, msg_refs); // warm-up (metrics)
+    let allocs = count_allocs(|| {
+        for _ in 0..20 {
+            tags = mac_lanes(key_refs, msg_refs);
+        }
+    });
+    assert_eq!(allocs, 0, "mac_lanes must not allocate");
+    assert_ne!(tags[0], tags[1]);
+}
+
+#[test]
+fn warm_prf_expansion_is_allocation_free() {
+    let key = HmacKey::precompute(b"prf key");
+    let mut out = Vec::new();
+    // Warm-up twice: the first call sizes the output buffer, the second
+    // takes the warm branch and initialises its lazy metric counter.
+    prf_expand_bits_into(&key, b"label", b"ctx", 512, &mut out);
+    prf_expand_bits_into(&key, b"label", b"ctx", 512, &mut out);
+    let allocs = count_allocs(|| {
+        for round in 0..50u8 {
+            prf_expand_bits_into(&key, b"label", &[round], 512, &mut out);
+        }
+    });
+    assert_eq!(allocs, 0, "warm PRF expansion must not allocate");
+    assert_eq!(out.len(), 512);
+}
+
+#[test]
+fn warm_session_code_derivation_is_allocation_free() {
+    let authority = Authority::from_seed(b"alloc-test");
+    let shared = authority.issue(NodeId(1)).shared_key(NodeId(2));
+    let key = HmacKey::precompute(shared.as_bytes());
+    let mut code = Vec::new();
+    // Two warm-ups: buffer sizing, then the warm branch's lazy counter.
+    derive_session_code_with(
+        &key,
+        Nonce::from_value(1),
+        Nonce::from_value(2),
+        512,
+        &mut code,
+    );
+    derive_session_code_with(
+        &key,
+        Nonce::from_value(1),
+        Nonce::from_value(2),
+        512,
+        &mut code,
+    );
+    let allocs = count_allocs(|| {
+        for round in 0..50u32 {
+            derive_session_code_with(
+                &key,
+                Nonce::from_value(round),
+                Nonce::from_value(round + 1),
+                512,
+                &mut code,
+            );
+        }
+    });
+    assert_eq!(allocs, 0, "warm session-code derivation must not allocate");
+    assert_eq!(code.len(), 512);
+}
