@@ -6,8 +6,8 @@
 //!
 //! EXPERIMENT: table1 fig2a fig2b fig3a fig3b fig4a fig4b fig5a fig5b
 //!             theory dos baselines ablation-redundancy ablation-gamma
-//!             ablation-predist multiantenna jammers timeline chiplevel all
-//!             (default: all)
+//!             ablation-predist multiantenna jammers timeline chiplevel chaos
+//!             all (default: all)
 //! --reps N       Monte-Carlo repetitions per point (default 20; paper: 100)
 //! --seed S       base RNG seed (default 2011)
 //! --quick        shrink the network for a fast smoke run
@@ -17,9 +17,9 @@
 //! ```
 
 use jrsnd_bench::{
-    ablation_gamma, ablation_predist, ablation_redundancy, baselines, chiplevel, dos, fig2a, fig2b,
-    fig3a, fig3b, fig4, fig5a, fig5b, jammers, multiantenna, table1, theory, timeline_experiment,
-    FigureOutput, Scale,
+    ablation_gamma, ablation_predist, ablation_redundancy, baselines, chaos, chiplevel, dos, fig2a,
+    fig2b, fig3a, fig3b, fig4, fig5a, fig5b, jammers, multiantenna, table1, theory,
+    timeline_experiment, FigureOutput, Scale,
 };
 use std::io::Write;
 
@@ -93,6 +93,7 @@ fn parse_args() -> Result<Options, String> {
             "jammers",
             "timeline",
             "chiplevel",
+            "chaos",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -113,7 +114,7 @@ usage: repro [EXPERIMENT]... [--reps N] [--seed S] [--quick] [--csv DIR]
              [--metrics PATH]
 experiments: table1 fig2a fig2b fig3a fig3b fig4a fig4b fig5a fig5b theory dos
              baselines ablation-redundancy ablation-gamma ablation-predist
-             multiantenna jammers timeline chiplevel all";
+             multiantenna jammers timeline chiplevel chaos all";
 
 fn run_one(name: &str, opts: &Options) -> Result<FigureOutput, String> {
     let (reps, seed, scale) = (opts.reps, opts.seed, opts.scale);
@@ -137,6 +138,7 @@ fn run_one(name: &str, opts: &Options) -> Result<FigureOutput, String> {
         "jammers" => jammers(reps, seed, scale),
         "timeline" => timeline_experiment(seed),
         "chiplevel" => chiplevel(seed),
+        "chaos" => chaos(reps, seed, scale),
         other => return Err(format!("unknown experiment `{other}` (see --help)")),
     })
 }

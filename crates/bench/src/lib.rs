@@ -1141,3 +1141,69 @@ pub fn chiplevel(seed: u64) -> FigureOutput {
         chart: None,
     }
 }
+
+/// Chaos experiment: discovery under injected chip-layer faults, swept
+/// over fault intensity × retry budget.
+///
+/// Each point runs the seed-sharded Monte-Carlo driver with a
+/// [`jrsnd::network::ResilienceConfig`]: a [`FaultPlan`] of the given
+/// intensity (transmission drops, chip bursts, frame truncation, clock
+/// skew) and a budgeted exponential-backoff retry policy. Fault
+/// decisions are pure functions of `(seed, pair, attempt)`, so the whole
+/// sweep — table, CSV, and SVG — is byte-identical across repeated runs
+/// and worker counts (`JRSND_THREADS`).
+///
+/// [`FaultPlan`]: jrsnd_sim::faults::FaultPlan
+pub fn chaos(reps: usize, seed: u64, scale: Scale) -> FigureOutput {
+    use jrsnd::montecarlo::run_many_resilient;
+    use jrsnd::network::ResilienceConfig;
+
+    let base = base_config(scale);
+    let intensities = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let budgets: [u32; 3] = [0, 2, 4];
+
+    let mut t = TextTable::new(vec![
+        "intensity".into(),
+        "retries".into(),
+        "P(D-NDP)".into(),
+        "P(JR-SND)".into(),
+        "degraded".into(),
+        "attempts/pair".into(),
+    ]);
+    let mut series: Vec<Series> = budgets
+        .iter()
+        .map(|b| Series::new(format!("P(JR-SND) retries={b}")))
+        .collect();
+    for &intensity in &intensities {
+        for (bi, &budget) in budgets.iter().enumerate() {
+            let res = ResilienceConfig::chaos(intensity, budget);
+            let agg = run_many_resilient(&base, &res, reps, seed);
+            t.row(vec![
+                format!("{intensity:.1}"),
+                budget.to_string(),
+                fmt_ci(agg.p_dndp.mean(), agg.p_dndp.ci95_half_width()),
+                fmt_ci(agg.p_jrsnd.mean(), agg.p_jrsnd.ci95_half_width()),
+                fmt(agg.degraded.mean()),
+                format!("{:.2}", agg.retry_attempts.mean()),
+            ]);
+            series[bi].push_stats(intensity, &agg.p_jrsnd);
+        }
+    }
+    FigureOutput {
+        id: "Chaos".into(),
+        caption: "discovery under injected faults: intensity sweep x retry budget".into(),
+        notes: vec![
+            "intensity 0.0 rows reproduce the fault-free JR-SND probability".into(),
+            "at fixed intensity, a larger retry budget claws back discovery".into(),
+            "degraded pairs are partial outcomes, never aborts: P(JR-SND) + residual".into(),
+            "byte-identical across reruns and JRSND_THREADS=1/2/4 (seed-sharded, stateless faults)"
+                .into(),
+        ],
+        table: t,
+        series,
+        chart: Some(svg::ChartSpec::probability(
+            "Chaos: P(JR-SND) vs fault intensity, by retry budget",
+            "fault intensity",
+        )),
+    }
+}

@@ -19,6 +19,8 @@ use jrsnd_dsss::code::{CodeId, SpreadCode};
 use jrsnd_dsss::correlate::MultiCorrelator;
 use jrsnd_dsss::spread::{despread_from_channel, spread};
 use jrsnd_dsss::sync::{decode_frame, scan_from};
+use jrsnd_sim::faults::FaultInjector;
+use jrsnd_sim::retry::RetryPolicy;
 use jrsnd_sim::rng::SimRng;
 use jrsnd_sim::{metric_counter, metric_histogram};
 use rand::{Rng, SeedableRng};
@@ -85,9 +87,82 @@ pub enum Stage {
     Complete,
 }
 
-/// Transmits `message_bits` ECC-coded and spread with `code` onto a fresh
-/// channel segment, with `jammer` (if any) covering the tail of the
-/// transmission, then receives it back through ECC decoding.
+/// A persistent chip medium carrying one session: every message of the
+/// handshake — and every retry attempt — shares this channel at advancing
+/// chip offsets, and [`LinkMedium::advance`] retires transmissions that
+/// ended before the new watermark so the channel's transmission list
+/// stays bounded no matter how long the session runs.
+struct LinkMedium {
+    channel: ChipChannel,
+    /// Next free absolute chip index.
+    cursor: u64,
+}
+
+impl LinkMedium {
+    fn new(seed: u64, faults: Option<&FaultInjector>) -> Self {
+        let channel = match faults {
+            // The channel's fault stream is keyed by the link seed, so
+            // two links under the same injector draw independent faults.
+            Some(inj) => ChipChannel::new(seed).with_faults(*inj, seed),
+            None => ChipChannel::new(seed),
+        };
+        LinkMedium { channel, cursor: 0 }
+    }
+
+    /// Moves the cursor past a just-finished message window and retires
+    /// everything that can no longer be heard.
+    fn advance(&mut self, msg_chips: u64) {
+        self.cursor += msg_chips;
+        let retired = self.channel.retire_before(self.cursor);
+        metric_counter!("chiplink.transmissions_retired").add(retired as u64);
+    }
+}
+
+/// Transmits `coded` spread with `code` at absolute chip `start`, with
+/// `jammer` (if any) covering the tail of the transmission, then
+/// despreads the window back off the channel through the fused
+/// render→despread path.
+#[allow(clippy::too_many_arguments)]
+fn exchange_on(
+    channel: &mut ChipChannel,
+    start: u64,
+    coded: &[bool],
+    code: &SpreadCode,
+    jammer: Option<&ChipJammer>,
+    message_index: usize,
+    tau: f64,
+    chip_rate: f64,
+    rng: &mut SimRng,
+) -> (Vec<bool>, Vec<bool>) {
+    let n = code.len();
+    channel.transmit(start, spread(coded, code), 1);
+    if let Some(j) = jammer.filter(|j| j.attacks(message_index)) {
+        // Reactive jammer: chip-synchronized garbage over the tail
+        // `fraction` of the message, aligned to bit boundaries.
+        let jam_bits_count = ((coded.len() as f64) * j.fraction).round() as usize;
+        if jam_bits_count > 0 {
+            let start_bit = coded.len() - jam_bits_count;
+            let garbage: Vec<bool> = (0..jam_bits_count).map(|_| rng.gen()).collect();
+            record_jam(start_bit, jam_bits_count, n, chip_rate);
+            channel.transmit(
+                start + (start_bit * n) as u64,
+                spread(&garbage, &j.code),
+                j.amplitude,
+            );
+        }
+    }
+    // Fused render→despread: the receiver is bit-synchronized to its own
+    // frame, so each bit window is rendered straight into the correlator
+    // without materialising the full sample vector. Decisions are
+    // bit-identical to render-then-`decode_frame`.
+    despread_from_channel(channel, start, code, coded.len(), tau)
+}
+
+/// Transmits `message_bits` ECC-coded and spread with `code` onto a
+/// channel segment — a fresh channel when `medium` is `None` (the legacy
+/// one-shot path), or the session's persistent [`LinkMedium`] at its
+/// cursor — with `jammer` (if any) covering the tail of the transmission,
+/// then receives it back through ECC decoding.
 ///
 /// `coded_buf` is a caller-owned staging buffer for the coded bits, reused
 /// across the handshake's messages; the ECC itself runs through `codec`'s
@@ -105,35 +180,45 @@ fn transmit_and_receive(
     tau: f64,
     chip_rate: f64,
     noise_seed: u64,
+    medium: Option<&mut LinkMedium>,
     rng: &mut SimRng,
 ) -> Option<Vec<bool>> {
     codec
         .encode_into(message_bits, coded_buf)
         .expect("non-empty message");
-    let chips = spread(coded_buf, code);
     let n = code.len();
-    let mut channel = ChipChannel::new(noise_seed);
-    channel.transmit(0, chips, 1);
-    if let Some(j) = jammer.filter(|j| j.attacks(message_index)) {
-        // Reactive jammer: chip-synchronized garbage over the tail
-        // `fraction` of the message, aligned to bit boundaries.
-        let jam_bits_count = ((coded_buf.len() as f64) * j.fraction).round() as usize;
-        if jam_bits_count > 0 {
-            let start_bit = coded_buf.len() - jam_bits_count;
-            let garbage: Vec<bool> = (0..jam_bits_count).map(|_| rng.gen()).collect();
-            record_jam(start_bit, jam_bits_count, n, chip_rate);
-            channel.transmit(
-                (start_bit * n) as u64,
-                spread(&garbage, &j.code),
-                j.amplitude,
+    let (bits, erased) = match medium {
+        Some(m) => {
+            let start = m.cursor;
+            let result = exchange_on(
+                &mut m.channel,
+                start,
+                coded_buf,
+                code,
+                jammer,
+                message_index,
+                tau,
+                chip_rate,
+                rng,
             );
+            m.advance((coded_buf.len() * n) as u64);
+            result
         }
-    }
-    // Fused render→despread: the receiver is bit-synchronized to its own
-    // frame, so each bit window is rendered straight into the correlator
-    // without materialising the full sample vector. Decisions are
-    // bit-identical to render-then-`decode_frame`.
-    let (bits, erased) = despread_from_channel(&channel, 0, code, coded_buf.len(), tau);
+        None => {
+            let mut channel = ChipChannel::new(noise_seed);
+            exchange_on(
+                &mut channel,
+                0,
+                coded_buf,
+                code,
+                jammer,
+                message_index,
+                tau,
+                chip_rate,
+                rng,
+            )
+        }
+    };
     let mut decoded = Vec::new();
     let ok = codec
         .decode_into(&bits, &erased, message_bits.len(), &mut decoded)
@@ -206,7 +291,7 @@ pub fn run_handshake_with(
     codec: &mut FrameCodec,
 ) -> HandshakeReport {
     run_handshake_inner(
-        params, authority, a_codes, b_codes, shared_a, shared_b, jammer, seed, codec, None,
+        params, authority, a_codes, b_codes, shared_a, shared_b, jammer, seed, codec, None, None,
     )
 }
 
@@ -239,7 +324,105 @@ pub fn run_handshake_cached(
         seed,
         codec,
         Some(cache),
+        None,
     )
+}
+
+/// The result of a [`run_handshake_resilient`] session: the last
+/// attempt's [`HandshakeReport`] plus the retry bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientHandshakeReport {
+    /// The final attempt's chip-level report.
+    pub report: HandshakeReport,
+    /// Attempts actually made (`1..=policy.max_attempts`).
+    pub attempts: u32,
+    /// Whether the session exhausted its retry budget without
+    /// discovering — a partial outcome, never an abort.
+    pub degraded: bool,
+    /// Total backoff the retries spent waiting, in seconds
+    /// (deterministic jitter drawn from the session seed).
+    pub backoff_s: f64,
+    /// Transmissions still live on the session channel at the end —
+    /// bounded by the last message window regardless of how many
+    /// attempts ran, because the driver retires every finished window.
+    pub channel_transmissions: usize,
+}
+
+/// [`run_handshake_cached`] wrapped in a budgeted retry/backoff loop over
+/// one persistent, optionally fault-injected session channel.
+///
+/// Every attempt reruns the full four-message handshake with a fresh
+/// attempt seed (fresh nonces) on the *same* [`ChipChannel`], at
+/// advancing chip offsets; finished message windows are retired via
+/// [`ChipChannel::retire_before`], so channel memory stays bounded for
+/// arbitrarily long chaos runs. With `faults = None` and
+/// `RetryPolicy::none()` the first attempt is bit-identical to
+/// [`run_handshake_cached`] with the same arguments.
+///
+/// A session that exhausts its budget reports `degraded = true` — the
+/// caller records a partial-discovery outcome and carries on.
+#[allow(clippy::too_many_arguments)]
+pub fn run_handshake_resilient(
+    params: &Params,
+    authority: &Authority,
+    a_codes: &[SpreadCode],
+    b_codes: &[SpreadCode],
+    shared_a: usize,
+    shared_b: usize,
+    jammer: Option<&ChipJammer>,
+    seed: u64,
+    codec: &mut FrameCodec,
+    mut cache: Option<&mut SessionCodeCache>,
+    faults: Option<&FaultInjector>,
+    retry: &RetryPolicy,
+) -> ResilientHandshakeReport {
+    let mut medium = LinkMedium::new(seed ^ 0x1111, faults);
+    let mut backoff_rng = SimRng::seed_from_u64(seed ^ 0xBACC_0FF5);
+    let mut backoff_s = 0.0;
+    let mut attempts = 0u32;
+    let mut report: Option<HandshakeReport> = None;
+    for attempt in 1..=retry.max_attempts.max(1) {
+        attempts = attempt;
+        backoff_s += retry.backoff_delay(attempt, &mut backoff_rng);
+        metric_counter!("retry.attempts").inc();
+        // Attempt 1 reuses the session seed unchanged so the no-fault,
+        // no-retry configuration reproduces the legacy path exactly;
+        // later attempts re-key nonces and jam garbage.
+        let attempt_seed = seed ^ (u64::from(attempt) - 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let r = run_handshake_inner(
+            params,
+            authority,
+            a_codes,
+            b_codes,
+            shared_a,
+            shared_b,
+            jammer,
+            attempt_seed,
+            codec,
+            cache.as_deref_mut(),
+            Some(&mut medium),
+        );
+        let discovered = r.discovered;
+        report = Some(r);
+        if discovered {
+            break;
+        }
+        // This attempt's sub-session timed out; the budget decides
+        // whether that becomes a retry or a degraded outcome.
+        metric_counter!("session.timeouts").inc();
+    }
+    let report = report.expect("at least one attempt always runs");
+    let degraded = !report.discovered;
+    if degraded {
+        metric_counter!("session.degraded").inc();
+    }
+    ResilientHandshakeReport {
+        report,
+        attempts,
+        degraded,
+        backoff_s,
+        channel_transmissions: medium.channel.transmission_count(),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -254,6 +437,7 @@ fn run_handshake_inner(
     seed: u64,
     codec: &mut FrameCodec,
     mut cache: Option<&mut SessionCodeCache>,
+    mut medium: Option<&mut LinkMedium>,
 ) -> HandshakeReport {
     assert!(
         !a_codes.is_empty() && !b_codes.is_empty(),
@@ -278,34 +462,51 @@ fn run_handshake_inner(
         .encode_into(&hello_bits, &mut hello_coded)
         .expect("non-empty");
     let n = a_codes[0].len();
-    let mut channel = ChipChannel::new(seed ^ 0x1111);
-    let mut offset = 0u64;
     let msg_chips = hello_coded.len() * n;
-    for code in a_codes {
-        channel.transmit(offset, spread(&hello_coded, code), 1);
-        offset += msg_chips as u64;
-    }
-    if let Some(j) = jammer.filter(|j| j.attacks(0)) {
-        // Reactive jammer: covers the tail `fraction` of every HELLO copy,
-        // chip-synchronized (the paper grants the jammer chip sync).
-        let jam_bits = ((hello_coded.len() as f64) * j.fraction).round() as usize;
-        if jam_bits > 0 {
-            for copy in 0..a_codes.len() {
-                let start_bit = copy * hello_coded.len() + (hello_coded.len() - jam_bits);
-                let garbage: Vec<bool> = (0..jam_bits).map(|_| rng.gen()).collect();
-                record_jam(hello_coded.len() - jam_bits, jam_bits, n, params.chip_rate);
-                channel.transmit(
-                    (start_bit * n) as u64,
-                    spread(&garbage, &j.code),
-                    j.amplitude,
-                );
-            }
-        }
-    }
+    // The broadcast lands on the session's persistent medium (resilient
+    // path) at its cursor, or on a fresh channel segment at chip 0 (the
+    // legacy one-shot path — noiseless, so the two are byte-identical).
+    let base = medium.as_deref().map_or(0, |m| m.cursor);
+    let mut fresh_channel;
     // One reused sample buffer per link: B's buffering window is rendered
     // into it once, and the bank scanner borrows it for every resumed scan.
     let mut buffer = Vec::new();
-    channel.render_into(&mut buffer, 0, msg_chips * a_codes.len());
+    {
+        let channel: &mut ChipChannel = match medium.as_deref_mut() {
+            Some(m) => &mut m.channel,
+            None => {
+                fresh_channel = ChipChannel::new(seed ^ 0x1111);
+                &mut fresh_channel
+            }
+        };
+        let mut offset = base;
+        for code in a_codes {
+            channel.transmit(offset, spread(&hello_coded, code), 1);
+            offset += msg_chips as u64;
+        }
+        if let Some(j) = jammer.filter(|j| j.attacks(0)) {
+            // Reactive jammer: covers the tail `fraction` of every HELLO
+            // copy, chip-synchronized (the paper grants the jammer chip
+            // sync).
+            let jam_bits = ((hello_coded.len() as f64) * j.fraction).round() as usize;
+            if jam_bits > 0 {
+                for copy in 0..a_codes.len() {
+                    let start_bit = copy * hello_coded.len() + (hello_coded.len() - jam_bits);
+                    let garbage: Vec<bool> = (0..jam_bits).map(|_| rng.gen()).collect();
+                    record_jam(hello_coded.len() - jam_bits, jam_bits, n, params.chip_rate);
+                    channel.transmit(
+                        base + (start_bit * n) as u64,
+                        spread(&garbage, &j.code),
+                        j.amplitude,
+                    );
+                }
+            }
+        }
+        channel.render_into(&mut buffer, base, msg_chips * a_codes.len());
+    }
+    if let Some(m) = medium.as_deref_mut() {
+        m.advance((msg_chips * a_codes.len()) as u64);
+    }
     let b_refs: Vec<&SpreadCode> = b_codes.iter().collect();
     // One code bank and one prefix-sum pass over the buffer serve every
     // resumed scan below (the batched kernel in jrsnd_dsss::correlate).
@@ -378,6 +579,7 @@ fn run_handshake_inner(
         tau,
         params.chip_rate,
         seed ^ 0x2222,
+        medium.as_deref_mut(),
         &mut rng,
     )
     .and_then(|bits| initiator.on_confirm(&bits, CodeId(shared_b as u32)).ok());
@@ -401,6 +603,7 @@ fn run_handshake_inner(
         tau,
         params.chip_rate,
         seed ^ 0x3333,
+        medium.as_deref_mut(),
         &mut rng,
     )
     .and_then(|bits| match cache.as_deref_mut() {
@@ -427,6 +630,7 @@ fn run_handshake_inner(
         tau,
         params.chip_rate,
         seed ^ 0x4444,
+        medium,
         &mut rng,
     )
     .and_then(|bits| match cache {
@@ -682,6 +886,171 @@ mod tests {
             assert!(!report.discovered);
             assert_eq!(report.stage, expected, "first_message = {first}");
         }
+    }
+
+    #[test]
+    fn resilient_without_faults_or_retries_matches_the_legacy_path() {
+        use jrsnd_sim::retry::RetryPolicy;
+        let s = setup(9);
+        let jammer = ChipJammer::from_start(s.a_codes[1].clone(), 0.20, 1);
+        let mut codec = crate::messages::FrameCodec::new(s.params.mu).unwrap();
+        for (seed, jam) in [(501u64, false), (502, true)] {
+            let j = jam.then_some(&jammer);
+            let legacy = run_handshake(
+                &s.params,
+                &s.authority,
+                &s.a_codes,
+                &s.b_codes,
+                1,
+                1,
+                j,
+                seed,
+            );
+            let resilient = run_handshake_resilient(
+                &s.params,
+                &s.authority,
+                &s.a_codes,
+                &s.b_codes,
+                1,
+                1,
+                j,
+                seed,
+                &mut codec,
+                None,
+                None,
+                &RetryPolicy::none(),
+            );
+            assert_eq!(resilient.report, legacy, "seed {seed}, jam {jam}");
+            assert_eq!(resilient.attempts, 1);
+            assert_eq!(resilient.backoff_s, 0.0);
+            assert_eq!(resilient.degraded, !legacy.discovered);
+        }
+    }
+
+    #[test]
+    fn resilient_retries_recover_from_transient_faults() {
+        use jrsnd_sim::faults::{FaultInjector, FaultPlan};
+        use jrsnd_sim::retry::RetryPolicy;
+        let s = setup(10);
+        let mut codec = crate::messages::FrameCodec::new(s.params.mu).unwrap();
+        let inj = FaultInjector::new(77, FaultPlan::intensity(0.6));
+        let retry = RetryPolicy::budgeted(4);
+        // Across several session seeds, retries must discover at least one
+        // link that the single-attempt run under the same faults loses.
+        let mut single_failures = 0u32;
+        let mut retried_recoveries = 0u32;
+        for seed in 600u64..640 {
+            let single = run_handshake_resilient(
+                &s.params,
+                &s.authority,
+                &s.a_codes,
+                &s.b_codes,
+                1,
+                1,
+                None,
+                seed,
+                &mut codec,
+                None,
+                Some(&inj),
+                &RetryPolicy::none(),
+            );
+            if single.report.discovered {
+                continue;
+            }
+            single_failures += 1;
+            let retried = run_handshake_resilient(
+                &s.params,
+                &s.authority,
+                &s.a_codes,
+                &s.b_codes,
+                1,
+                1,
+                None,
+                seed,
+                &mut codec,
+                None,
+                Some(&inj),
+                &retry,
+            );
+            if retried.report.discovered {
+                retried_recoveries += 1;
+                assert!(retried.attempts > 1, "recovery must have used a retry");
+                assert!(retried.backoff_s > 0.0, "retries wait before reattempting");
+                assert!(!retried.degraded);
+            }
+        }
+        assert!(single_failures > 0, "fault plan never disrupted anything");
+        assert!(retried_recoveries > 0, "retries never recovered a session");
+    }
+
+    #[test]
+    fn resilient_faulted_sessions_are_deterministic() {
+        use jrsnd_sim::faults::{FaultInjector, FaultPlan};
+        use jrsnd_sim::retry::RetryPolicy;
+        let s = setup(11);
+        let run = |seed: u64| {
+            let mut codec = crate::messages::FrameCodec::new(s.params.mu).unwrap();
+            let mut cache = SessionCodeCache::new(16);
+            let inj = FaultInjector::new(5, FaultPlan::intensity(0.7));
+            run_handshake_resilient(
+                &s.params,
+                &s.authority,
+                &s.a_codes,
+                &s.b_codes,
+                1,
+                1,
+                None,
+                seed,
+                &mut codec,
+                Some(&mut cache),
+                Some(&inj),
+                &RetryPolicy::budgeted(3),
+            )
+        };
+        for seed in [700u64, 701, 702] {
+            assert_eq!(run(seed), run(seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn session_channel_memory_stays_bounded_across_retries() {
+        use jrsnd_sim::retry::RetryPolicy;
+        let s = setup(12);
+        let mut codec = crate::messages::FrameCodec::new(s.params.mu).unwrap();
+        // A full-strength same-code jammer fails every attempt, forcing
+        // the driver through its whole (large) retry budget on one
+        // persistent channel.
+        let jammer = ChipJammer::from_start(s.a_codes[1].clone(), 1.0, 3);
+        let retry = RetryPolicy {
+            max_attempts: 12,
+            ..RetryPolicy::budgeted(11)
+        };
+        let r = run_handshake_resilient(
+            &s.params,
+            &s.authority,
+            &s.a_codes,
+            &s.b_codes,
+            1,
+            1,
+            Some(&jammer),
+            800,
+            &mut codec,
+            None,
+            None,
+            &retry,
+        );
+        assert_eq!(r.attempts, 12);
+        assert!(r.degraded);
+        // Every finished message window was retired: what survives is at
+        // most the last window's transmissions (HELLO copies + jam bursts
+        // for each of A's codes), never 12 attempts' worth (~100+).
+        let per_window_bound = 2 * s.a_codes.len() + 2;
+        assert!(
+            r.channel_transmissions <= per_window_bound,
+            "channel kept {} transmissions after retirement (bound {})",
+            r.channel_transmissions,
+            per_window_bound
+        );
     }
 
     #[test]

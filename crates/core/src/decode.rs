@@ -1,0 +1,136 @@
+//! A unified typed error taxonomy for every attacker-reachable decoder.
+//!
+//! Frames arriving over the chip medium are adversarial input: a jammer
+//! (or a fault injector) can hand any byte string to the wire parsers,
+//! the ECC expansion decoder, the handshake state machines, and the
+//! session-code derivation. Each of those layers has its own typed error
+//! ([`WireError`], [`ExpandError`], [`HandshakeError`],
+//! [`SessionCodeError`]); [`DecodeError`] folds them into one taxonomy so
+//! session drivers can propagate "this frame was garbage" with a single
+//! `?` and chaos harnesses can assert on stable variants.
+//!
+//! The contract — verified by `tests/decode_no_panic.rs` — is that no
+//! attacker-controlled byte sequence panics any decoder reachable from
+//! the radio: every malformed input maps to a `DecodeError` (or a layer
+//! error convertible into one).
+
+use crate::handshake::HandshakeError;
+use crate::messages::WireError;
+use jrsnd_crypto::session::SessionCodeError;
+use jrsnd_ecc::expand::ExpandError;
+use std::fmt;
+
+/// Why an inbound frame failed to decode, across all protocol layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The bit-level wire format did not parse.
+    Wire(WireError),
+    /// The (1+μ)-expansion ECC could not recover the frame.
+    Ecc(ExpandError),
+    /// The handshake state machine rejected the frame.
+    Auth(HandshakeError),
+    /// Session-code derivation was handed unusable material.
+    Session(SessionCodeError),
+    /// A frame or candidate set that must be non-empty was empty.
+    EmptyFrame,
+    /// A spread code's chip length did not match the receiver bank's.
+    CodeLengthMismatch {
+        /// Chip length of the receiver bank.
+        expected: usize,
+        /// Chip length actually supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Wire(e) => write!(f, "wire decode failed: {e}"),
+            DecodeError::Ecc(e) => write!(f, "ECC decode failed: {e}"),
+            DecodeError::Auth(e) => write!(f, "handshake rejected frame: {e}"),
+            DecodeError::Session(e) => write!(f, "session-code derivation failed: {e}"),
+            DecodeError::EmptyFrame => write!(f, "empty frame or candidate set"),
+            DecodeError::CodeLengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "spread-code length {got} does not match bank length {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecodeError::Wire(e) => Some(e),
+            DecodeError::Ecc(e) => Some(e),
+            DecodeError::Auth(e) => Some(e),
+            DecodeError::Session(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for DecodeError {
+    fn from(e: WireError) -> Self {
+        DecodeError::Wire(e)
+    }
+}
+
+impl From<ExpandError> for DecodeError {
+    fn from(e: ExpandError) -> Self {
+        DecodeError::Ecc(e)
+    }
+}
+
+impl From<HandshakeError> for DecodeError {
+    fn from(e: HandshakeError) -> Self {
+        DecodeError::Auth(e)
+    }
+}
+
+impl From<SessionCodeError> for DecodeError {
+    fn from(e: SessionCodeError) -> Self {
+        DecodeError::Session(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_the_layer_error() {
+        let w: DecodeError = WireError::Truncated.into();
+        assert_eq!(w, DecodeError::Wire(WireError::Truncated));
+        let e: DecodeError = ExpandError::EmptyMessage.into();
+        assert_eq!(e, DecodeError::Ecc(ExpandError::EmptyMessage));
+        let h: DecodeError = HandshakeError::Malformed.into();
+        assert_eq!(h, DecodeError::Auth(HandshakeError::Malformed));
+        let s: DecodeError = SessionCodeError::ZeroChips.into();
+        assert_eq!(s, DecodeError::Session(SessionCodeError::ZeroChips));
+    }
+
+    #[test]
+    fn displays_are_nonempty_and_sourced() {
+        use std::error::Error;
+        let errors: Vec<DecodeError> = vec![
+            WireError::Truncated.into(),
+            ExpandError::Unrecoverable.into(),
+            HandshakeError::Malformed.into(),
+            SessionCodeError::ZeroChips.into(),
+            DecodeError::EmptyFrame,
+            DecodeError::CodeLengthMismatch {
+                expected: 512,
+                got: 256,
+            },
+        ];
+        for e in &errors {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(errors[0].source().is_some());
+        assert!(errors[4].source().is_none());
+    }
+}

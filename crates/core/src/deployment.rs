@@ -34,7 +34,7 @@
 //! ```
 
 use crate::node::Node;
-use crate::params::{ParamError, Params};
+use crate::params::{Params, ParamsError};
 use crate::predist::{derive_code_pool, CodeAssignment};
 use jrsnd_crypto::ibc::{Authority, NodeId};
 use jrsnd_dsss::code::{CodeId, CodePool, SpreadCode};
@@ -102,8 +102,8 @@ impl Deployment {
     ///
     /// # Errors
     ///
-    /// Returns [`ParamError`] if `params` fail validation.
-    pub fn new(params: Params, master_secret: &[u8]) -> Result<Self, ParamError> {
+    /// Returns [`ParamsError`] if `params` fail validation.
+    pub fn new(params: Params, master_secret: &[u8]) -> Result<Self, ParamsError> {
         params.validate()?;
         let authority = Authority::from_seed(master_secret);
         let pool = derive_code_pool(master_secret, params.pool_size(), params.n_chips);

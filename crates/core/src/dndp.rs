@@ -14,6 +14,8 @@ use crate::jammer::Jammer;
 use crate::params::Params;
 use jrsnd_dsss::code::CodeId;
 use jrsnd_ecc::expand::ExpansionCode;
+use jrsnd_sim::faults::FaultInjector;
+use jrsnd_sim::retry::RetryPolicy;
 use jrsnd_sim::rng::SimRng;
 use jrsnd_sim::{metric_counter, sim_trace};
 use rand::Rng;
@@ -164,6 +166,90 @@ pub fn simulate_pair_with(
     }
 }
 
+/// Outcome of a budgeted, fault-aware D-NDP execution.
+///
+/// Wraps the final attempt's [`DndpOutcome`] with retry bookkeeping so
+/// aggregation layers can report partial discovery (degradation) instead
+/// of aborting a run when a pair exhausts its budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilientDndpOutcome {
+    /// The last attempt's protocol outcome.
+    pub outcome: DndpOutcome,
+    /// Attempts consumed (1 when the first attempt succeeded).
+    pub attempts: u32,
+    /// True when every budgeted attempt failed: the pair degrades to
+    /// "undiscovered this round" rather than aborting the run.
+    pub degraded: bool,
+    /// Total exponential-backoff wait in seconds (deterministic jitter
+    /// drawn from the run RNG), already folded into `outcome.latency`.
+    pub backoff_s: f64,
+}
+
+/// [`simulate_pair_with`] under a retry budget and optional fault
+/// injection.
+///
+/// Each attempt re-runs the pairwise handshake; an injected session
+/// fault (keyed by `(pair_stream, attempt)`, so independent of query
+/// order and worker count) voids an otherwise-successful attempt.
+/// Failed attempts wait out an exponential backoff whose jitter comes
+/// from `rng`, keeping the whole schedule reproducible. When the budget
+/// is exhausted the pair is reported as degraded — never a panic or an
+/// abort — matching the protocol's graceful-degradation contract.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_pair_resilient(
+    params: &Params,
+    shared: &[CodeId],
+    jammer: &Jammer,
+    config: DndpConfig,
+    faults: Option<&FaultInjector>,
+    retry: &RetryPolicy,
+    pair_stream: u64,
+    rng: &mut SimRng,
+) -> ResilientDndpOutcome {
+    let budget = retry.max_attempts.max(1);
+    let mut backoff_s = 0.0;
+    let mut outcome = DndpOutcome {
+        discovered: false,
+        shared_codes: shared.len(),
+        surviving_sessions: 0,
+        latency: None,
+    };
+    let mut attempts = 0;
+    for attempt in 1..=budget {
+        attempts = attempt;
+        backoff_s += retry.backoff_delay(attempt, rng);
+        metric_counter!("retry.attempts").inc();
+        outcome = simulate_pair_with(params, shared, jammer, config, rng);
+        if outcome.discovered {
+            if let Some(inj) = faults {
+                if inj.session_disrupted(pair_stream, u64::from(attempt)) {
+                    // The sub-session completed at protocol level but the
+                    // injected chip-layer fault voids it.
+                    outcome.discovered = false;
+                    outcome.surviving_sessions = 0;
+                    outcome.latency = None;
+                }
+            }
+        }
+        if outcome.discovered {
+            break;
+        }
+        metric_counter!("session.timeouts").inc();
+    }
+    let degraded = !outcome.discovered;
+    if degraded {
+        metric_counter!("session.degraded").inc();
+    } else if backoff_s > 0.0 {
+        outcome.latency = outcome.latency.map(|t| t + backoff_s);
+    }
+    ResilientDndpOutcome {
+        outcome,
+        attempts,
+        degraded,
+        backoff_s,
+    }
+}
+
 /// Samples one discovery latency from the Theorem 2 timeline:
 /// three uniform residual/processing waits of mean `t_p/2`, one de-spread
 /// wait of mean `λt_h/2`, plus the deterministic authentication phase
@@ -309,6 +395,97 @@ mod tests {
             (mean - theory).abs() / theory < 0.02,
             "sampled {mean}, theory {theory}"
         );
+    }
+
+    #[test]
+    fn resilient_single_attempt_without_faults_matches_the_plain_path() {
+        use jrsnd_sim::retry::RetryPolicy;
+        let p = Params::table1();
+        let j = reactive(&[1], &p);
+        for seed in 10u64..15 {
+            let mut plain_rng = SimRng::seed_from_u64(seed);
+            let mut res_rng = SimRng::seed_from_u64(seed);
+            let plain = simulate_pair_with(
+                &p,
+                &codes(&[1, 9]),
+                &j,
+                DndpConfig::default(),
+                &mut plain_rng,
+            );
+            let resilient = simulate_pair_resilient(
+                &p,
+                &codes(&[1, 9]),
+                &j,
+                DndpConfig::default(),
+                None,
+                &RetryPolicy::none(),
+                0,
+                &mut res_rng,
+            );
+            assert_eq!(resilient.outcome, plain, "seed {seed}");
+            assert_eq!(resilient.attempts, 1);
+            assert_eq!(resilient.backoff_s, 0.0);
+        }
+    }
+
+    #[test]
+    fn resilient_budget_exhaustion_degrades_instead_of_aborting() {
+        use jrsnd_sim::faults::{FaultInjector, FaultPlan};
+        use jrsnd_sim::retry::RetryPolicy;
+        let p = Params::table1();
+        // Certain disruption: every attempt that would succeed is voided.
+        let plan = FaultPlan {
+            drop_prob: 1.0,
+            ..FaultPlan::none()
+        };
+        let inj = FaultInjector::new(3, plan);
+        let retry = RetryPolicy::budgeted(3);
+        let mut rng = SimRng::seed_from_u64(20);
+        let r = simulate_pair_resilient(
+            &p,
+            &codes(&[4]),
+            &Jammer::inactive(&p),
+            DndpConfig::default(),
+            Some(&inj),
+            &retry,
+            7,
+            &mut rng,
+        );
+        assert!(r.degraded);
+        assert!(!r.outcome.discovered);
+        assert_eq!(r.attempts, retry.max_attempts);
+        assert_eq!(r.outcome.latency, None);
+        assert!(r.backoff_s > 0.0);
+    }
+
+    #[test]
+    fn resilient_retries_recover_transiently_faulted_pairs() {
+        use jrsnd_sim::faults::{FaultInjector, FaultPlan};
+        use jrsnd_sim::retry::RetryPolicy;
+        let p = Params::table1();
+        let inj = FaultInjector::new(11, FaultPlan::intensity(1.0));
+        let retry = RetryPolicy::budgeted(5);
+        let mut rng = SimRng::seed_from_u64(30);
+        let mut recovered = 0u32;
+        for pair in 0u64..200 {
+            let r = simulate_pair_resilient(
+                &p,
+                &codes(&[4]),
+                &Jammer::inactive(&p),
+                DndpConfig::default(),
+                Some(&inj),
+                &retry,
+                pair,
+                &mut rng,
+            );
+            if r.attempts > 1 && r.outcome.discovered {
+                recovered += 1;
+                assert!(r.backoff_s > 0.0);
+                // The backoff wait shows up in the reported latency.
+                assert!(r.outcome.latency.unwrap() > r.backoff_s);
+            }
+        }
+        assert!(recovered > 0, "no pair ever needed and survived a retry");
     }
 
     #[test]

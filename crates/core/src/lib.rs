@@ -52,6 +52,7 @@
 
 pub mod analysis;
 pub mod chiplink;
+pub mod decode;
 pub mod deployment;
 pub mod dndp;
 pub mod handshake;
@@ -68,8 +69,9 @@ pub mod revocation;
 pub mod schedule_sim;
 pub mod timeline;
 
+pub use decode::DecodeError;
 pub use deployment::{Deployment, ProvisionedNode};
 pub use jammer::{Jammer, JammerKind};
-pub use network::{run_once, ExperimentConfig, RunResult};
-pub use params::Params;
+pub use network::{run_once, run_once_opt, ExperimentConfig, ResilienceConfig, RunResult};
+pub use params::{Params, ParamsError};
 pub use predist::CodeAssignment;

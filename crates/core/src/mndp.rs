@@ -19,6 +19,7 @@
 //!   Monte-Carlo driver at 2000-node scale. The two are proven equivalent
 //!   on small networks by tests.
 
+use crate::decode::DecodeError;
 use crate::messages::{ChainEntry, MndpRequest, MndpResponse};
 use crate::node::{DiscoveryKind, Node};
 use jrsnd_crypto::ibc::{NodeId, SharedKey};
@@ -354,10 +355,13 @@ pub fn closing_code_bank_cached(
 /// (the caller models that by not transmitting, i.e. `amplitude == None`)
 /// or its code is not in the bank.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `hello_bits` or `candidates` is empty, or the session code's
-/// length differs from the bank's.
+/// Returns [`DecodeError::EmptyFrame`] if `hello_bits` or `candidates` is
+/// empty, and [`DecodeError::CodeLengthMismatch`] if the session code's
+/// length differs from the bank's — both are attacker-reachable shapes
+/// (a corrupted response can carry any nonce material), so they must not
+/// panic.
 pub fn closing_hello_heard(
     hello_bits: &[bool],
     session_code: &jrsnd_dsss::code::SpreadCode,
@@ -366,20 +370,22 @@ pub fn closing_hello_heard(
     noise: f64,
     noise_seed: u64,
     tau: f64,
-) -> Option<usize> {
+) -> Result<Option<usize>, DecodeError> {
     use jrsnd_dsss::channel::ChipChannel;
     use jrsnd_dsss::correlate::{FusedDespreader, MultiCorrelator};
     use jrsnd_dsss::spread::{decide, spread};
 
-    assert!(!hello_bits.is_empty(), "empty closing HELLO");
-    assert!(!candidates.is_empty(), "empty session-code bank");
+    if hello_bits.is_empty() || candidates.is_empty() {
+        return Err(DecodeError::EmptyFrame);
+    }
     let bank = MultiCorrelator::new(candidates);
     let n = bank.code_len();
-    assert_eq!(
-        session_code.len(),
-        n,
-        "session code length differs from bank"
-    );
+    if session_code.len() != n {
+        return Err(DecodeError::CodeLengthMismatch {
+            expected: n,
+            got: session_code.len(),
+        });
+    }
 
     let mut channel = ChipChannel::new(noise_seed).with_noise(noise);
     if let Some(amp) = amplitude {
@@ -402,7 +408,7 @@ pub fn closing_hello_heard(
     } else {
         metric_counter!("mndp.closing_hellos_missed").inc();
     }
-    heard
+    Ok(heard)
 }
 
 /// [`closing_hello_heard`] with the closing HELLO carried through the
@@ -416,10 +422,12 @@ pub fn closing_hello_heard(
 /// Returns the index of the first candidate whose decode reproduces
 /// `hello_bits`, or `None`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `hello_bits` or `candidates` is empty, or the session code's
-/// length differs from the bank's.
+/// Returns [`DecodeError::EmptyFrame`] if `hello_bits` or `candidates` is
+/// empty, [`DecodeError::CodeLengthMismatch`] if the session code's length
+/// differs from the bank's, and [`DecodeError::Ecc`] if the expected frame
+/// cannot be ECC-encoded.
 #[allow(clippy::too_many_arguments)]
 pub fn closing_hello_heard_coded(
     hello_bits: &[bool],
@@ -430,24 +438,24 @@ pub fn closing_hello_heard_coded(
     noise_seed: u64,
     tau: f64,
     codec: &mut crate::messages::FrameCodec,
-) -> Option<usize> {
+) -> Result<Option<usize>, DecodeError> {
     use jrsnd_dsss::channel::ChipChannel;
     use jrsnd_dsss::correlate::{FusedDespreader, MultiCorrelator};
     use jrsnd_dsss::spread::{decide, spread};
 
-    assert!(!hello_bits.is_empty(), "empty closing HELLO");
-    assert!(!candidates.is_empty(), "empty session-code bank");
+    if hello_bits.is_empty() || candidates.is_empty() {
+        return Err(DecodeError::EmptyFrame);
+    }
     let mut coded = Vec::new();
-    codec
-        .encode_into(hello_bits, &mut coded)
-        .expect("non-empty HELLO");
+    codec.encode_into(hello_bits, &mut coded)?;
     let bank = MultiCorrelator::new(candidates);
     let n = bank.code_len();
-    assert_eq!(
-        session_code.len(),
-        n,
-        "session code length differs from bank"
-    );
+    if session_code.len() != n {
+        return Err(DecodeError::CodeLengthMismatch {
+            expected: n,
+            got: session_code.len(),
+        });
+    }
 
     let mut channel = ChipChannel::new(noise_seed).with_noise(noise);
     if let Some(amp) = amplitude {
@@ -487,7 +495,7 @@ pub fn closing_hello_heard_coded(
     } else {
         metric_counter!("mndp.closing_hellos_missed").inc();
     }
-    heard
+    Ok(heard)
 }
 
 /// One closure pass of the graph-level shortcut: every physical pair not
@@ -686,7 +694,7 @@ mod tests {
         let hello: Vec<bool> = (0..24).map(|i| i % 3 != 0).collect();
         // The responder's session code is candidate 3 of A's pending bank.
         let heard = closing_hello_heard(&hello, &codes[3], &refs, Some(1), 0.02, 7, 0.15);
-        assert_eq!(heard, Some(3));
+        assert_eq!(heard, Ok(Some(3)));
     }
 
     #[test]
@@ -700,12 +708,12 @@ mod tests {
         // Responder spreads with a code A is not waiting for.
         assert_eq!(
             closing_hello_heard(&hello, &codes[3], &refs, Some(1), 0.02, 8, 0.15),
-            None
+            Ok(None)
         );
         // Out of range: nothing transmitted, only noise.
         assert_eq!(
             closing_hello_heard(&hello, &codes[0], &refs, None, 0.02, 9, 0.15),
-            None
+            Ok(None)
         );
     }
 
@@ -731,7 +739,7 @@ mod tests {
             0.15,
             &mut codec,
         );
-        assert_eq!(heard, Some(2));
+        assert_eq!(heard, Ok(Some(2)));
         let bank3: Vec<&SpreadCode> = codes[..3].iter().collect();
         assert_eq!(
             closing_hello_heard_coded(
@@ -744,11 +752,11 @@ mod tests {
                 0.15,
                 &mut codec
             ),
-            None
+            Ok(None)
         );
         assert_eq!(
             closing_hello_heard_coded(&hello, &codes[0], &refs, None, 0.02, 13, 0.15, &mut codec),
-            None
+            Ok(None)
         );
         // Repeat of the first call: identical outcome with warm scratch.
         let again = closing_hello_heard_coded(
@@ -761,7 +769,7 @@ mod tests {
             0.15,
             &mut codec,
         );
-        assert_eq!(again, Some(2));
+        assert_eq!(again, Ok(Some(2)));
     }
 
     #[test]
@@ -795,7 +803,7 @@ mod tests {
         let hello: Vec<bool> = (0..16).map(|i| i % 5 != 0).collect();
         assert_eq!(
             closing_hello_heard(&hello, &bank[4], &refs, Some(1), 0.02, 21, 0.15),
-            Some(4)
+            Ok(Some(4))
         );
     }
 

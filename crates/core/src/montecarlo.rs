@@ -5,7 +5,7 @@
 //! different random seed"; [`run_many`] reproduces exactly that (the
 //! repetition count is configurable) using one worker thread per core.
 
-use crate::network::{run_once, ExperimentConfig, RunResult};
+use crate::network::{run_once_opt, ExperimentConfig, ResilienceConfig, RunResult};
 use crate::params::Params;
 use jrsnd_sim::stats::RunningStats;
 use jrsnd_sim::{metric_counter, metric_gauge, metric_histogram};
@@ -34,6 +34,13 @@ pub struct Aggregate {
     pub degree: RunningStats,
     /// Per-run M-NDP epochs to fixpoint.
     pub epochs: RunningStats,
+    /// Per-run fraction of physical pairs that exhausted their retry
+    /// budget under fault injection (always 0 without a
+    /// [`ResilienceConfig`]).
+    pub degraded: RunningStats,
+    /// Per-run mean D-NDP attempts per physical pair (1.0 when nothing
+    /// retries).
+    pub retry_attempts: RunningStats,
     /// Runs whose D-NDP latency column was skipped because no pair was
     /// directly discovered. `t_dndp.count() + runs_without_dndp_latency ==
     /// runs()`, so a partial latency column can never be misread as a
@@ -64,6 +71,9 @@ impl Aggregate {
         self.t_jrsnd.push(r.t_jrsnd());
         self.degree.push(r.mean_degree);
         self.epochs.push(r.mndp_epochs as f64);
+        let pairs = r.physical_pairs.max(1) as f64;
+        self.degraded.push(r.degraded_pairs as f64 / pairs);
+        self.retry_attempts.push(r.retry_attempts as f64 / pairs);
     }
 
     /// Merges another aggregate (parallel reduction).
@@ -81,6 +91,8 @@ impl Aggregate {
         self.t_jrsnd.merge(&other.t_jrsnd);
         self.degree.merge(&other.degree);
         self.epochs.merge(&other.epochs);
+        self.degraded.merge(&other.degraded);
+        self.retry_attempts.merge(&other.retry_attempts);
         self.runs_without_dndp_latency += other.runs_without_dndp_latency;
         self.runs_without_mndp_latency += other.runs_without_mndp_latency;
     }
@@ -112,7 +124,7 @@ impl Aggregate {
                 f(s.max())
             )
         }
-        let fields: [(&str, String); 9] = [
+        let fields: [(&str, String); 11] = [
             ("p_dndp", stats(&self.p_dndp)),
             ("p_mndp", stats(&self.p_mndp)),
             ("p_jrsnd", stats(&self.p_jrsnd)),
@@ -122,6 +134,8 @@ impl Aggregate {
             ("t_jrsnd", stats(&self.t_jrsnd)),
             ("degree", stats(&self.degree)),
             ("epochs", stats(&self.epochs)),
+            ("degraded", stats(&self.degraded)),
+            ("retry_attempts", stats(&self.retry_attempts)),
         ];
         let mut out = String::from("{");
         for (name, value) in &fields {
@@ -177,6 +191,42 @@ pub fn run_many(config: &ExperimentConfig, reps: usize, base_seed: u64) -> Aggre
     run_many_instrumented(config, reps, base_seed, None).0
 }
 
+/// [`run_many`] under fault injection and per-pair retry budgets.
+///
+/// Inherits the full determinism contract: fault decisions are pure
+/// functions of `(seed, pair, attempt)` and the seed shards are static,
+/// so the aggregate — including the `degraded` and `retry_attempts`
+/// columns — is bitwise identical for any worker count.
+///
+/// # Panics
+///
+/// Panics if `reps == 0` or the parameters are invalid.
+pub fn run_many_resilient(
+    config: &ExperimentConfig,
+    resilience: &ResilienceConfig,
+    reps: usize,
+    base_seed: u64,
+) -> Aggregate {
+    run_many_resilient_with_threads(config, resilience, reps, base_seed, None)
+}
+
+/// [`run_many_resilient`] with an explicit worker-thread count (`None` =
+/// default resolution, as in [`run_many_with_threads`]).
+///
+/// # Panics
+///
+/// Panics if `reps == 0`, `threads == Some(0)`, or the parameters are
+/// invalid.
+pub fn run_many_resilient_with_threads(
+    config: &ExperimentConfig,
+    resilience: &ResilienceConfig,
+    reps: usize,
+    base_seed: u64,
+    threads: Option<usize>,
+) -> Aggregate {
+    run_many_inner(config, Some(resilience), reps, base_seed, threads).0
+}
+
 /// [`run_many`] with an explicit worker-thread count (`None` = default
 /// resolution: `JRSND_THREADS`, then available parallelism). The result
 /// is bitwise identical for every `threads` value.
@@ -200,6 +250,16 @@ pub fn run_many_with_threads(
 /// histogram).
 pub fn run_many_instrumented(
     config: &ExperimentConfig,
+    reps: usize,
+    base_seed: u64,
+    threads: Option<usize>,
+) -> (Aggregate, RunPerf) {
+    run_many_inner(config, None, reps, base_seed, threads)
+}
+
+fn run_many_inner(
+    config: &ExperimentConfig,
+    resilience: Option<&ResilienceConfig>,
     reps: usize,
     base_seed: u64,
     threads: Option<usize>,
@@ -231,7 +291,7 @@ pub fn run_many_instrumented(
     if workers <= 1 {
         let t0 = Instant::now();
         for i in 0..reps {
-            results.push(Some(run_once(config, base_seed + i as u64)));
+            results.push(Some(run_once_opt(config, resilience, base_seed + i as u64)));
         }
         busy[0] = t0.elapsed().as_secs_f64();
     } else {
@@ -242,7 +302,11 @@ pub fn run_many_instrumented(
                 scope.spawn(move || {
                     let t0 = Instant::now();
                     for (j, slot) in slots.iter_mut().enumerate() {
-                        *slot = Some(run_once(config, base_seed + (offset + j) as u64));
+                        *slot = Some(run_once_opt(
+                            config,
+                            resilience,
+                            base_seed + (offset + j) as u64,
+                        ));
                     }
                     *busy_w = t0.elapsed().as_secs_f64();
                 });
@@ -317,6 +381,7 @@ mod tests {
     use super::*;
     use crate::dndp::DndpConfig;
     use crate::jammer::JammerKind;
+    use crate::network::run_once;
 
     fn tiny_config() -> ExperimentConfig {
         let mut params = Params::table1();
@@ -409,6 +474,36 @@ mod tests {
         assert!(perf.wall_s > 0.0);
         assert!(perf.runs_per_sec > 0.0);
         assert!(perf.utilization > 0.0 && perf.utilization <= 1.0);
+    }
+
+    #[test]
+    fn resilient_thread_count_does_not_change_the_aggregate() {
+        let cfg = tiny_config();
+        let res = ResilienceConfig::chaos(0.7, 2);
+        let reference = run_many_resilient_with_threads(&cfg, &res, 5, 8100, Some(1));
+        assert!(reference.degraded.mean() > 0.0, "chaos plan never degraded");
+        assert!(reference.retry_attempts.mean() > 1.0, "retries never fired");
+        for threads in [2, 4] {
+            let agg = run_many_resilient_with_threads(&cfg, &res, 5, 8100, Some(threads));
+            assert_eq!(
+                agg.to_json(),
+                reference.to_json(),
+                "worker count {threads} changed the chaos aggregate"
+            );
+        }
+    }
+
+    #[test]
+    fn resilient_none_matches_run_many_columns() {
+        let cfg = tiny_config();
+        let plain = run_many(&cfg, 4, 8200);
+        let res = run_many_resilient(&cfg, &ResilienceConfig::none(), 4, 8200);
+        // No faults + single attempt draws the same RNG stream, so the
+        // shared columns agree bitwise; the new columns sit at their
+        // baselines.
+        assert_eq!(plain.to_json(), res.to_json());
+        assert_eq!(res.degraded.mean(), plain.degraded.mean());
+        assert_eq!(res.retry_attempts.mean(), 1.0);
     }
 
     #[test]

@@ -10,6 +10,8 @@ use crate::jammer::{Jammer, JammerKind};
 use crate::mndp;
 use crate::params::Params;
 use crate::predist::CodeAssignment;
+use jrsnd_sim::faults::{FaultInjector, FaultPlan};
+use jrsnd_sim::retry::RetryPolicy;
 use jrsnd_sim::rng::SimRng;
 use jrsnd_sim::stats::RunningStats;
 use jrsnd_sim::topology::{physical_graph, Graph};
@@ -36,6 +38,40 @@ impl ExperimentConfig {
             params: Params::table1(),
             jammer: JammerKind::Reactive,
             dndp: DndpConfig::default(),
+        }
+    }
+}
+
+/// Fault-injection and retry settings for a resilience experiment.
+///
+/// Same seed + same plan ⇒ byte-identical results: every fault decision
+/// is a pure function of `(run seed, pair index, attempt)`, so the chaos
+/// sweep composes with the static seed-sharded Monte-Carlo driver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceConfig {
+    /// Retry budget and backoff schedule per pair.
+    pub retry: RetryPolicy,
+    /// Declarative fault plan; `None` disables injection but keeps the
+    /// retry loop (useful for isolating retry overhead).
+    pub faults: Option<FaultPlan>,
+}
+
+impl ResilienceConfig {
+    /// No faults, no retries: [`run_once_opt`] with this config draws the
+    /// exact same RNG sequence as [`run_once`] only when `faults` is
+    /// `None` *and* the budget is one attempt.
+    pub fn none() -> Self {
+        ResilienceConfig {
+            retry: RetryPolicy::none(),
+            faults: None,
+        }
+    }
+
+    /// A fault plan of the given intensity with `extra` budgeted retries.
+    pub fn chaos(intensity: f64, extra_retries: u32) -> Self {
+        ResilienceConfig {
+            retry: RetryPolicy::budgeted(extra_retries),
+            faults: Some(FaultPlan::intensity(intensity)),
         }
     }
 }
@@ -67,6 +103,13 @@ pub struct RunResult {
     pub dndp_latency: RunningStats,
     /// Per-discovery M-NDP latencies (Theorem 4 at the actual hop count).
     pub mndp_latency: RunningStats,
+    /// Pairs whose whole retry budget was exhausted under fault
+    /// injection (partial discovery, not an abort). Zero without a
+    /// [`ResilienceConfig`].
+    pub degraded_pairs: usize,
+    /// Total D-NDP attempts spent across all pairs (equals
+    /// `physical_pairs` when nothing retries).
+    pub retry_attempts: u64,
 }
 
 impl RunResult {
@@ -130,6 +173,26 @@ impl RunResult {
 ///
 /// Panics if the configuration's parameters fail validation.
 pub fn run_once(config: &ExperimentConfig, seed: u64) -> RunResult {
+    run_once_opt(config, None, seed)
+}
+
+/// [`run_once`] with optional fault injection and per-pair retry budgets.
+///
+/// With `resilience: None` this draws the exact same RNG sequence as
+/// [`run_once`] and returns an identical result. With `Some`, every
+/// physical pair runs [`dndp::simulate_pair_resilient`] under a
+/// [`FaultInjector`] seeded from the run seed; pairs that exhaust the
+/// budget degrade to "undiscovered" and are counted in
+/// [`RunResult::degraded_pairs`] — the run always completes.
+///
+/// # Panics
+///
+/// Panics if the configuration's parameters fail validation.
+pub fn run_once_opt(
+    config: &ExperimentConfig,
+    resilience: Option<&ResilienceConfig>,
+    seed: u64,
+) -> RunResult {
     let params = &config.params;
     params.validate().expect("invalid parameters");
     let root = SimRng::seed_from_u64(seed);
@@ -151,15 +214,48 @@ pub fn run_once(config: &ExperimentConfig, seed: u64) -> RunResult {
     let compromised_codes = assignment.compromised_codes(&compromised_nodes);
     let jammer = Jammer::new(config.jammer, compromised_codes, params);
 
-    // 3. D-NDP on every physical pair.
+    // 3. D-NDP on every physical pair. Under a ResilienceConfig, each
+    //    pair gets a fault stream keyed by its enumeration index —
+    //    stable across worker counts because edge order is.
     let mut protocol_rng = root.fork("dndp", 0);
+    let injector = resilience
+        .and_then(|r| r.faults)
+        .filter(|p| !p.is_inert())
+        .map(|plan| FaultInjector::new(seed ^ 0xFA17_0000, plan));
     let mut logical = Graph::new(params.n);
     let mut dndp_latency = RunningStats::new();
     let mut dndp_pairs = 0usize;
-    for (u, v) in physical.edges() {
+    let mut degraded_pairs = 0usize;
+    let mut retry_attempts = 0u64;
+    for (pair_index, (u, v)) in physical.edges().enumerate() {
         let shared = assignment.shared_codes(u, v);
-        let outcome =
-            dndp::simulate_pair_with(params, &shared, &jammer, config.dndp, &mut protocol_rng);
+        let outcome = match resilience {
+            None => {
+                retry_attempts += 1;
+                dndp::simulate_pair_with(params, &shared, &jammer, config.dndp, &mut protocol_rng)
+            }
+            Some(res) => {
+                let r = dndp::simulate_pair_resilient(
+                    params,
+                    &shared,
+                    &jammer,
+                    config.dndp,
+                    injector.as_ref(),
+                    &res.retry,
+                    pair_index as u64,
+                    &mut protocol_rng,
+                );
+                retry_attempts += u64::from(r.attempts);
+                // "Degraded" means the resilience machinery was in play
+                // and the pair still failed — a plain jammed pair under
+                // ResilienceConfig::none() is just undiscovered, keeping
+                // that config's results identical to run_once's.
+                if r.degraded && (res.retry.retries() || injector.is_some()) {
+                    degraded_pairs += 1;
+                }
+                r.outcome
+            }
+        };
         if outcome.discovered {
             logical.add_edge(u, v);
             dndp_pairs += 1;
@@ -220,6 +316,8 @@ pub fn run_once(config: &ExperimentConfig, seed: u64) -> RunResult {
         mndp_epochs: usize::from(!single_round.is_empty()) + later_epochs,
         dndp_latency,
         mndp_latency,
+        degraded_pairs,
+        retry_attempts,
     }
 }
 
@@ -334,6 +432,52 @@ mod tests {
     }
 
     #[test]
+    fn run_once_opt_without_resilience_is_run_once() {
+        let cfg = small_config();
+        let a = run_once(&cfg, 55);
+        let b = run_once_opt(&cfg, None, 55);
+        assert_eq!(a.physical_pairs, b.physical_pairs);
+        assert_eq!(a.dndp_pairs, b.dndp_pairs);
+        assert_eq!(a.mndp_pairs, b.mndp_pairs);
+        assert_eq!(a.dndp_latency.mean(), b.dndp_latency.mean());
+        assert_eq!(b.degraded_pairs, 0);
+        assert_eq!(b.retry_attempts, b.physical_pairs as u64);
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic_and_degrade_gracefully() {
+        let cfg = small_config();
+        let res = ResilienceConfig::chaos(0.8, 2);
+        let a = run_once_opt(&cfg, Some(&res), 77);
+        let b = run_once_opt(&cfg, Some(&res), 77);
+        assert_eq!(a.dndp_pairs, b.dndp_pairs);
+        assert_eq!(a.degraded_pairs, b.degraded_pairs);
+        assert_eq!(a.retry_attempts, b.retry_attempts);
+        assert_eq!(a.dndp_latency.mean(), b.dndp_latency.mean());
+        // Faults hurt, retries fire, and the run still completes with a
+        // partial-discovery outcome instead of aborting.
+        assert!(a.degraded_pairs > 0, "intensity 0.8 never degraded a pair");
+        assert!(a.retry_attempts > a.physical_pairs as u64);
+        assert_eq!(a.dndp_pairs + a.degraded_pairs, a.physical_pairs);
+        let clean = run_once(&cfg, 77);
+        assert!(a.dndp_pairs < clean.dndp_pairs);
+    }
+
+    #[test]
+    fn retries_claw_back_discovery_lost_to_faults() {
+        let cfg = small_config();
+        let no_retry = run_once_opt(&cfg, Some(&ResilienceConfig::chaos(0.6, 0)), 88);
+        let budgeted = run_once_opt(&cfg, Some(&ResilienceConfig::chaos(0.6, 4)), 88);
+        assert!(
+            budgeted.dndp_pairs > no_retry.dndp_pairs,
+            "budget 4 ({}) should beat budget 0 ({})",
+            budgeted.dndp_pairs,
+            no_retry.dndp_pairs
+        );
+        assert!(budgeted.degraded_pairs < no_retry.degraded_pairs);
+    }
+
+    #[test]
     fn empty_pair_edge_cases() {
         let r = RunResult {
             physical_pairs: 0,
@@ -345,6 +489,8 @@ mod tests {
             mndp_epochs: 0,
             dndp_latency: RunningStats::new(),
             mndp_latency: RunningStats::new(),
+            degraded_pairs: 0,
+            retry_attempts: 0,
         };
         assert_eq!(r.p_dndp(), 0.0);
         assert_eq!(r.p_mndp(), 0.0);

@@ -13,20 +13,81 @@ use jrsnd_sim::geom::Field;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Errors from parameter validation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParamError {
-    /// Which constraint failed.
-    pub message: String,
+/// Typed parameter-validation errors: one variant per structural
+/// constraint, so callers can match on *which* knob is broken instead of
+/// parsing a message string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParamsError {
+    /// `n < 2`: a network needs at least two nodes.
+    TooFewNodes,
+    /// `m == 0`: every node must carry at least one spread code.
+    ZeroCodesPerNode,
+    /// `l < 2`: a code shared by a single node discovers nothing.
+    ShareBoundTooSmall,
+    /// `q > n`: more compromised nodes than nodes.
+    TooManyCompromised,
+    /// `N == 0`: the chip length must be positive (a zero code pool
+    /// cannot spread anything).
+    ZeroChipLength,
+    /// `R ≤ 0` or non-finite: the chip rate must be positive.
+    NonPositiveChipRate,
+    /// `ρ ≤ 0` or non-finite: the correlation cost must be positive.
+    NonPositiveRho,
+    /// `μ ≤ 0` or non-finite: the ECC expansion factor is out of range.
+    MuOutOfRange,
+    /// `ν == 0`: M-NDP needs at least one hop.
+    ZeroHopLimit,
+    /// `τ ∉ (0, 1)`: the de-spreading threshold is out of range.
+    TauOutOfRange,
+    /// `z == 0` or `z ≥ N`: parallel jamming signals must satisfy
+    /// `0 < z ≪ N`.
+    JammingSignalsOutOfRange,
+    /// A message field width (`l_t`, `l_id`, `l_n`, `l_mac`) is zero.
+    ZeroMessageField,
+    /// `l_n > 32`: nonces are carried in a `u32`.
+    NonceWidthTooLarge,
+    /// A cryptographic cost (`t_key`, `t_sig`, `t_ver`) is negative.
+    NegativeCryptoCost,
+    /// The field dimensions or transmission range are non-positive.
+    NonPositiveGeometry,
+    /// `γ == 0`: the revocation threshold must be positive.
+    ZeroRevocationThreshold,
 }
 
-impl fmt::Display for ParamError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid parameters: {}", self.message)
+impl ParamsError {
+    /// Human-readable description of the violated constraint.
+    pub fn message(&self) -> &'static str {
+        match self {
+            ParamsError::TooFewNodes => "need at least 2 nodes",
+            ParamsError::ZeroCodesPerNode => "m must be positive",
+            ParamsError::ShareBoundTooSmall => {
+                "l must be at least 2 (a code shared by one node is useless)"
+            }
+            ParamsError::TooManyCompromised => "q cannot exceed n",
+            ParamsError::ZeroChipLength => "N must be positive",
+            ParamsError::NonPositiveChipRate => "R must be positive and finite",
+            ParamsError::NonPositiveRho => "rho must be positive and finite",
+            ParamsError::MuOutOfRange => "mu must be positive and finite",
+            ParamsError::ZeroHopLimit => "nu must be at least 1",
+            ParamsError::TauOutOfRange => "tau must be in (0, 1)",
+            ParamsError::JammingSignalsOutOfRange => "z must satisfy 0 < z << N",
+            ParamsError::ZeroMessageField => "message field widths must be positive",
+            ParamsError::NonceWidthTooLarge => "l_n is capped at 32 bits",
+            ParamsError::NegativeCryptoCost => "crypto costs must be non-negative",
+            ParamsError::NonPositiveGeometry => "field and range must be positive",
+            ParamsError::ZeroRevocationThreshold => "gamma must be positive",
+        }
     }
 }
 
-impl std::error::Error for ParamError {}
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid parameters: {}", self.message())
+    }
+}
+
+impl std::error::Error for ParamsError {}
 
 /// The full parameter set, defaulting to Table I.
 ///
@@ -136,62 +197,79 @@ impl Params {
     ///
     /// # Errors
     ///
-    /// Returns [`ParamError`] naming the violated constraint.
-    pub fn validate(&self) -> Result<(), ParamError> {
-        let fail = |msg: &str| {
-            Err(ParamError {
-                message: msg.to_string(),
-            })
-        };
+    /// Returns the [`ParamsError`] variant naming the violated constraint
+    /// (the first one found, in declaration order).
+    pub fn validate(&self) -> Result<(), ParamsError> {
         if self.n < 2 {
-            return fail("need at least 2 nodes");
+            return Err(ParamsError::TooFewNodes);
         }
         if self.m == 0 {
-            return fail("m must be positive");
+            return Err(ParamsError::ZeroCodesPerNode);
         }
         if self.l < 2 {
-            return fail("l must be at least 2 (a code shared by one node is useless)");
+            return Err(ParamsError::ShareBoundTooSmall);
         }
         if self.q > self.n {
-            return fail("q cannot exceed n");
+            return Err(ParamsError::TooManyCompromised);
         }
         if self.n_chips == 0 {
-            return fail("N must be positive");
+            return Err(ParamsError::ZeroChipLength);
         }
         if !(self.chip_rate > 0.0 && self.chip_rate.is_finite()) {
-            return fail("R must be positive and finite");
+            return Err(ParamsError::NonPositiveChipRate);
         }
         if !(self.rho > 0.0 && self.rho.is_finite()) {
-            return fail("rho must be positive and finite");
+            return Err(ParamsError::NonPositiveRho);
         }
         if !(self.mu > 0.0 && self.mu.is_finite()) {
-            return fail("mu must be positive and finite");
+            return Err(ParamsError::MuOutOfRange);
         }
         if self.nu == 0 {
-            return fail("nu must be at least 1");
+            return Err(ParamsError::ZeroHopLimit);
         }
         if !(0.0 < self.tau && self.tau < 1.0) {
-            return fail("tau must be in (0, 1)");
+            return Err(ParamsError::TauOutOfRange);
         }
         if self.z == 0 || self.z >= self.n_chips {
-            return fail("z must satisfy 0 < z << N");
+            return Err(ParamsError::JammingSignalsOutOfRange);
         }
         if self.l_t == 0 || self.l_id == 0 || self.l_n == 0 || self.l_mac == 0 {
-            return fail("message field widths must be positive");
+            return Err(ParamsError::ZeroMessageField);
         }
         if self.l_n > 32 {
-            return fail("l_n is capped at 32 bits");
+            return Err(ParamsError::NonceWidthTooLarge);
         }
         if !(self.t_key >= 0.0 && self.t_sig >= 0.0 && self.t_ver >= 0.0) {
-            return fail("crypto costs must be non-negative");
+            return Err(ParamsError::NegativeCryptoCost);
         }
         if !(self.field_w > 0.0 && self.field_h > 0.0 && self.range > 0.0) {
-            return fail("field and range must be positive");
+            return Err(ParamsError::NonPositiveGeometry);
         }
         if self.gamma == 0 {
-            return fail("gamma must be positive");
+            return Err(ParamsError::ZeroRevocationThreshold);
         }
         Ok(())
+    }
+
+    /// Validate-at-construction: consumes a freely mutated record and
+    /// returns it only if every structural constraint holds, so invalid
+    /// configurations are rejected here instead of panicking deep inside
+    /// the DSSS layer.
+    ///
+    /// ```
+    /// use jrsnd::params::{Params, ParamsError};
+    ///
+    /// let mut p = Params::table1();
+    /// p.chip_rate = 0.0;
+    /// assert_eq!(p.validated(), Err(ParamsError::NonPositiveChipRate));
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`ParamsError`] as [`Params::validate`].
+    pub fn validated(self) -> Result<Self, ParamsError> {
+        self.validate()?;
+        Ok(self)
     }
 
     /// Number of partitions per round, `w = ⌈n / l⌉`.
@@ -279,32 +357,64 @@ mod tests {
     }
 
     #[test]
-    fn validation_catches_each_violation() {
+    fn validation_catches_each_violation_with_the_right_variant() {
         type Mutator = Box<dyn Fn(&mut Params)>;
-        let cases: Vec<(&str, Mutator)> = vec![
-            ("n", Box::new(|p| p.n = 1)),
-            ("m", Box::new(|p| p.m = 0)),
-            ("l", Box::new(|p| p.l = 1)),
-            ("q", Box::new(|p| p.q = p.n + 1)),
-            ("N", Box::new(|p| p.n_chips = 0)),
-            ("R", Box::new(|p| p.chip_rate = 0.0)),
-            ("rho", Box::new(|p| p.rho = -1.0)),
-            ("mu", Box::new(|p| p.mu = 0.0)),
-            ("nu", Box::new(|p| p.nu = 0)),
-            ("tau", Box::new(|p| p.tau = 1.5)),
-            ("z", Box::new(|p| p.z = 0)),
-            ("z big", Box::new(|p| p.z = p.n_chips)),
-            ("widths", Box::new(|p| p.l_id = 0)),
-            ("l_n cap", Box::new(|p| p.l_n = 40)),
-            ("costs", Box::new(|p| p.t_key = -0.1)),
-            ("field", Box::new(|p| p.range = 0.0)),
-            ("gamma", Box::new(|p| p.gamma = 0)),
+        let cases: Vec<(ParamsError, Mutator)> = vec![
+            (ParamsError::TooFewNodes, Box::new(|p| p.n = 1)),
+            (ParamsError::ZeroCodesPerNode, Box::new(|p| p.m = 0)),
+            (ParamsError::ShareBoundTooSmall, Box::new(|p| p.l = 1)),
+            (ParamsError::TooManyCompromised, Box::new(|p| p.q = p.n + 1)),
+            (ParamsError::ZeroChipLength, Box::new(|p| p.n_chips = 0)),
+            (
+                ParamsError::NonPositiveChipRate,
+                Box::new(|p| p.chip_rate = 0.0),
+            ),
+            (
+                ParamsError::NonPositiveChipRate,
+                Box::new(|p| p.chip_rate = f64::NAN),
+            ),
+            (ParamsError::NonPositiveRho, Box::new(|p| p.rho = -1.0)),
+            (ParamsError::MuOutOfRange, Box::new(|p| p.mu = 0.0)),
+            (
+                ParamsError::MuOutOfRange,
+                Box::new(|p| p.mu = f64::INFINITY),
+            ),
+            (ParamsError::ZeroHopLimit, Box::new(|p| p.nu = 0)),
+            (ParamsError::TauOutOfRange, Box::new(|p| p.tau = 1.5)),
+            (ParamsError::TauOutOfRange, Box::new(|p| p.tau = 0.0)),
+            (ParamsError::JammingSignalsOutOfRange, Box::new(|p| p.z = 0)),
+            (
+                ParamsError::JammingSignalsOutOfRange,
+                Box::new(|p| p.z = p.n_chips),
+            ),
+            (ParamsError::ZeroMessageField, Box::new(|p| p.l_id = 0)),
+            (ParamsError::NonceWidthTooLarge, Box::new(|p| p.l_n = 40)),
+            (
+                ParamsError::NegativeCryptoCost,
+                Box::new(|p| p.t_key = -0.1),
+            ),
+            (
+                ParamsError::NonPositiveGeometry,
+                Box::new(|p| p.range = 0.0),
+            ),
+            (
+                ParamsError::ZeroRevocationThreshold,
+                Box::new(|p| p.gamma = 0),
+            ),
         ];
-        for (name, mutate) in cases {
+        for (expected, mutate) in cases {
             let mut p = Params::table1();
             mutate(&mut p);
-            assert!(p.validate().is_err(), "case {name} should fail");
+            assert_eq!(p.validate(), Err(expected));
+            assert_eq!(p.clone().validated(), Err(expected));
+            assert!(!expected.message().is_empty());
         }
+    }
+
+    #[test]
+    fn validated_passes_through_a_good_config() {
+        let p = Params::table1().validated().unwrap();
+        assert_eq!(p, Params::table1());
     }
 
     #[test]

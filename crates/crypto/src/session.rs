@@ -24,6 +24,47 @@ use jrsnd_sim::metric_counter;
 /// The PRF label namespacing session spread codes.
 const LABEL: &[u8] = b"session-code";
 
+/// Typed errors from fallible session-code derivation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SessionCodeError {
+    /// The requested chip length was zero — a session code must have at
+    /// least one chip.
+    ZeroChips,
+}
+
+impl std::fmt::Display for SessionCodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionCodeError::ZeroChips => {
+                write!(f, "session code must have at least one chip")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionCodeError {}
+
+/// Fallible variant of [`derive_session_code`] for callers whose chip
+/// length comes from untrusted input (wire frames, config files): instead
+/// of panicking on a zero length it returns a typed
+/// [`SessionCodeError`].
+///
+/// # Errors
+///
+/// Returns [`SessionCodeError::ZeroChips`] when `n_chips == 0`.
+pub fn try_derive_session_code(
+    key: &SharedKey,
+    my_nonce: Nonce,
+    peer_nonce: Nonce,
+    n_chips: usize,
+) -> Result<Vec<bool>, SessionCodeError> {
+    if n_chips == 0 {
+        return Err(SessionCodeError::ZeroChips);
+    }
+    Ok(derive_session_code(key, my_nonce, peer_nonce, n_chips))
+}
+
 /// Derives the `n_chips`-bit session spread code from the pairwise key and
 /// the two handshake nonces.
 ///
@@ -377,5 +418,20 @@ mod tests {
     #[should_panic(expected = "needs capacity")]
     fn zero_capacity_cache_rejected() {
         SessionCodeCache::new(0);
+    }
+
+    #[test]
+    fn try_derive_matches_the_panicking_path_and_rejects_zero() {
+        let auth = Authority::from_seed(b"try");
+        let key = auth.issue(NodeId(1)).shared_key(NodeId(2));
+        let (na, nb) = (Nonce::from_value(5), Nonce::from_value(6));
+        assert_eq!(
+            try_derive_session_code(&key, na, nb, 128).unwrap(),
+            derive_session_code(&key, na, nb, 128)
+        );
+        assert_eq!(
+            try_derive_session_code(&key, na, nb, 0),
+            Err(SessionCodeError::ZeroChips)
+        );
     }
 }

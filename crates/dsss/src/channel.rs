@@ -19,6 +19,7 @@
 //! samples, noise included, across arbitrary window boundaries.
 
 use crate::chip::ChipSeq;
+use jrsnd_sim::faults::FaultInjector;
 use jrsnd_sim::metric_counter;
 
 /// SplitMix64's golden-ratio increment, used to key noise streams.
@@ -73,6 +74,20 @@ impl Transmission {
     }
 }
 
+/// Fault-injection hookup for a channel: a stateless [`FaultInjector`]
+/// plus the stream label this channel draws its decisions from and a
+/// per-channel transmission counter used as the decision index. The
+/// counter advances once per [`ChipChannel::transmit`] call whether or not
+/// a fault fires, so the decision for transmission `k` depends only on
+/// `(seed, plan, stream, k)` — never on what happened to transmissions
+/// `0..k`.
+#[derive(Debug, Clone)]
+struct FaultState {
+    injector: FaultInjector,
+    stream: u64,
+    next_index: u64,
+}
+
 /// A chip-synchronous shared medium.
 ///
 /// Chip indices are absolute (a global chip clock at rate `R`); the caller
@@ -107,6 +122,8 @@ pub struct ChipChannel {
     /// Probability threshold in 1/2^32 units, held in `u64` so `p = 1.0`
     /// maps to exactly 2^32 ("every chip") — a `u32` cannot express that.
     noise_threshold: u64,
+    /// Optional fault injection applied at `transmit` time.
+    faults: Option<FaultState>,
 }
 
 impl ChipChannel {
@@ -117,6 +134,7 @@ impl ChipChannel {
             transmissions: Vec::new(),
             noise_seed,
             noise_threshold: 0,
+            faults: None,
         }
     }
 
@@ -132,6 +150,22 @@ impl ChipChannel {
         self
     }
 
+    /// Attaches a [`FaultInjector`] to this channel: every subsequent
+    /// [`ChipChannel::transmit`] call may be dropped, truncated,
+    /// burst-corrupted, or delayed according to the injector's plan.
+    /// `stream` labels this channel in the injector's decision space, so
+    /// two channels with distinct streams draw independent faults from the
+    /// same seed. With an inert plan the channel behaves exactly like an
+    /// un-faulted one.
+    pub fn with_faults(mut self, injector: FaultInjector, stream: u64) -> Self {
+        self.faults = Some(FaultState {
+            injector,
+            stream,
+            next_index: 0,
+        });
+        self
+    }
+
     /// Schedules a chip stream starting at absolute chip index
     /// `start_chip`, with integer `amplitude` (a jammer may shout louder
     /// than 1).
@@ -141,6 +175,22 @@ impl ChipChannel {
     /// Panics if `amplitude == 0`.
     pub fn transmit(&mut self, start_chip: u64, chips: ChipSeq, amplitude: i32) {
         assert!(amplitude != 0, "amplitude must be nonzero");
+        let (mut start_chip, mut chips) = (start_chip, chips);
+        if let Some(faults) = &mut self.faults {
+            let (inj, stream, index) = (faults.injector, faults.stream, faults.next_index);
+            faults.next_index += 1;
+            if inj.drops(stream, index) {
+                return;
+            }
+            let cut = inj.truncated_len(stream, index, chips.len());
+            if cut < chips.len() {
+                chips = chips.truncated(cut);
+            }
+            if let Some((at, len)) = inj.burst(stream, index, chips.len()) {
+                chips.flip_range(at, len);
+            }
+            start_chip += inj.delay_chips(stream, index);
+        }
         // Sorted insert so rendering can stop scanning at the first
         // transmission starting past its window.
         let at = self
@@ -559,6 +609,52 @@ mod tests {
     fn zero_amplitude_rejected() {
         let mut ch = ChipChannel::new(0);
         ch.transmit(0, ChipSeq::from_bits(&[true]), 0);
+    }
+
+    #[test]
+    fn inert_faults_leave_the_channel_byte_identical() {
+        use jrsnd_sim::faults::FaultPlan;
+        let inj = FaultInjector::new(99, FaultPlan::none());
+        let mut plain = ChipChannel::new(3);
+        let mut faulted = ChipChannel::new(3).with_faults(inj, 0);
+        let chips: Vec<bool> = (0..300).map(|i| i % 3 != 0).collect();
+        for i in 0..8u64 {
+            plain.transmit(i * 100, ChipSeq::from_bits(&chips), 1);
+            faulted.transmit(i * 100, ChipSeq::from_bits(&chips), 1);
+        }
+        assert_eq!(plain.render(0, 2000), faulted.render(0, 2000));
+    }
+
+    #[test]
+    fn faulted_transmissions_are_deterministic_per_seed_and_stream() {
+        use jrsnd_sim::faults::FaultPlan;
+        let build = |seed: u64, stream: u64| {
+            let inj = FaultInjector::new(seed, FaultPlan::intensity(0.9));
+            let mut ch = ChipChannel::new(0).with_faults(inj, stream);
+            let chips: Vec<bool> = (0..256).map(|i| i % 5 < 2).collect();
+            for i in 0..32u64 {
+                ch.transmit(i * 300, ChipSeq::from_bits(&chips), 1);
+            }
+            ch.render(0, 32 * 300 + 512)
+        };
+        assert_eq!(build(7, 1), build(7, 1));
+        assert_ne!(build(7, 1), build(8, 1));
+        assert_ne!(build(7, 1), build(7, 2));
+    }
+
+    #[test]
+    fn drop_faults_bound_the_transmission_list() {
+        use jrsnd_sim::faults::FaultPlan;
+        let plan = FaultPlan {
+            drop_prob: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut ch = ChipChannel::new(0).with_faults(FaultInjector::new(1, plan), 0);
+        for i in 0..64u64 {
+            ch.transmit(i * 10, ChipSeq::from_bits(&[true; 16]), 1);
+        }
+        assert_eq!(ch.transmission_count(), 0);
+        assert_eq!(ch.render(0, 700), vec![0; 700]);
     }
 }
 

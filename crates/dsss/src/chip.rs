@@ -246,6 +246,59 @@ impl ChipSeq {
         (self.len as f64 - 2.0 * h) / self.len as f64
     }
 
+    /// A copy keeping only the first `new_len` chips — how the fault
+    /// injector models a transmitter cut off mid-frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_len == 0` or `new_len > len`.
+    pub fn truncated(&self, new_len: usize) -> ChipSeq {
+        assert!(new_len > 0, "truncated sequence must be non-empty");
+        assert!(
+            new_len <= self.len,
+            "truncation length {new_len} exceeds {}",
+            self.len
+        );
+        let mut words = self.words[..new_len.div_ceil(64)].to_vec();
+        // Clear the padding bits of the (new) last word so Eq/Hash and
+        // word_at's zero-padding contract keep holding.
+        let tail = new_len % 64;
+        if tail != 0 {
+            let mask = (1u64 << tail) - 1;
+            if let Some(last) = words.last_mut() {
+                *last &= mask;
+            }
+        }
+        ChipSeq {
+            words,
+            len: new_len,
+        }
+    }
+
+    /// Inverts the `count` chips starting at `start` in place (clamped to
+    /// the sequence end) — how the fault injector models a burst of chip
+    /// corruption. A zero `count` or an out-of-range `start` is a no-op.
+    pub fn flip_range(&mut self, start: usize, count: usize) {
+        if start >= self.len || count == 0 {
+            return;
+        }
+        let end = (start + count).min(self.len);
+        let mut i = start;
+        while i < end {
+            let q = i / 64;
+            let lo = i % 64;
+            let hi = (end - q * 64).min(64);
+            // Mask covering bits [lo, hi) of word q.
+            let mask = if hi == 64 {
+                u64::MAX << lo
+            } else {
+                ((1u64 << hi) - 1) & !((1u64 << lo) - 1)
+            };
+            self.words[q] ^= mask;
+            i = (q + 1) * 64;
+        }
+    }
+
     /// Concatenates sequences (message spreading glues per-bit chip blocks).
     pub fn concat(parts: &[&ChipSeq]) -> ChipSeq {
         assert!(!parts.is_empty(), "cannot concatenate zero sequences");
@@ -353,6 +406,62 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_rejected() {
         ChipSeq::from_bits(&[]);
+    }
+
+    #[test]
+    fn truncated_keeps_prefix_and_clears_padding() {
+        let bits: Vec<bool> = (0..150).map(|i| i % 2 == 0).collect();
+        let seq = ChipSeq::from_bits(&bits);
+        for new_len in [1usize, 63, 64, 65, 127, 128, 150] {
+            let t = seq.truncated(new_len);
+            assert_eq!(t.len(), new_len);
+            assert_eq!(t, ChipSeq::from_bits(&bits[..new_len]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn truncated_past_end_panics() {
+        ChipSeq::from_bits(&[true; 10]).truncated(11);
+    }
+
+    #[test]
+    fn flip_range_matches_bitwise_model() {
+        let bits: Vec<bool> = (0..200).map(|i| (i * 3 + 1) % 7 < 3).collect();
+        for (start, count) in [
+            (0usize, 1usize),
+            (0, 200),
+            (5, 60),
+            (63, 2),
+            (64, 64),
+            (100, 1000),
+            (199, 1),
+            (200, 5),
+            (7, 0),
+        ] {
+            let mut seq = ChipSeq::from_bits(&bits);
+            seq.flip_range(start, count);
+            let expected: Vec<bool> = bits
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| b ^ (i >= start && i < start.saturating_add(count)))
+                .collect();
+            assert_eq!(
+                seq,
+                ChipSeq::from_bits(&expected),
+                "start {start} count {count}"
+            );
+        }
+    }
+
+    #[test]
+    fn flip_range_preserves_padding_invariant() {
+        let mut seq = ChipSeq::from_bits(&[false; 70]);
+        seq.flip_range(0, 70);
+        // All 70 chips flipped to +1; Eq against a clean construction
+        // fails if padding bits leaked.
+        assert_eq!(seq, ChipSeq::from_bits(&[true; 70]));
+        assert_eq!(seq.words().last().copied().unwrap() >> 6, 0);
     }
 }
 

@@ -1,0 +1,381 @@
+//! Deterministic fault injection for chaos experiments.
+//!
+//! A [`FaultPlan`] declares *what* can go wrong — transmission drops,
+//! chip-burst corruption, frame truncation, delivery delay, per-node clock
+//! skew — and with what probability. A [`FaultInjector`] binds a plan to a
+//! `u64` seed and answers every "does this fault fire here?" question as a
+//! **pure function of `(seed, stream, index)`**: no interior state, no
+//! ordering dependence. That purity is what lets fault injection compose
+//! with the Monte-Carlo driver's static seed sharding — the same seed and
+//! plan produce byte-identical aggregates for any worker count, exactly
+//! like the block-keyed channel noise in `jrsnd_dsss::channel`.
+//!
+//! Streams partition the decision space: callers pick a stable `stream`
+//! label per injection site (e.g. the handshake-message index or a pair
+//! id) and a monotonically meaningful `index` within it (e.g. the
+//! transmission counter). Two sites with different streams never share
+//! fault decisions, so adding an injection point cannot perturb another.
+//!
+//! Every fired fault increments a `fault.injected.*` counter in the global
+//! metrics registry. Counter updates are commutative, so observability
+//! does not affect output determinism.
+
+use crate::metric_counter;
+
+/// Same 64-bit golden-ratio constant the channel noise kernel uses.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64 finalizer: a high-quality 64→64 bit mixer.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a mixed word to a uniform `f64` in `[0, 1)`.
+#[inline]
+fn unit(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Declarative description of which faults can fire and how hard.
+///
+/// All probabilities are per *transmission* (or per *session* for the
+/// protocol-level overlay) and must lie in `[0, 1]`. A plan with every
+/// probability and the skew at zero is inert: the injector becomes a
+/// no-op and the run is bit-identical to one without fault injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that a transmission is dropped entirely.
+    pub drop_prob: f64,
+    /// Probability that a transmission is delayed.
+    pub delay_prob: f64,
+    /// Maximum delivery delay, in chips (uniform in `1..=max`).
+    pub max_delay_chips: u64,
+    /// Probability that a contiguous chip burst is inverted.
+    pub burst_prob: f64,
+    /// Maximum burst length, in chips (uniform in `1..=max`).
+    pub max_burst_chips: usize,
+    /// Probability that a frame loses its tail.
+    pub truncate_prob: f64,
+    /// Maximum fraction of the frame that truncation removes.
+    pub max_truncate_frac: f64,
+    /// Per-node clock-skew amplitude in seconds (skew is uniform in
+    /// `[-clock_skew_s, +clock_skew_s]`).
+    pub clock_skew_s: f64,
+}
+
+impl FaultPlan {
+    /// The inert plan: nothing ever fires.
+    pub fn none() -> Self {
+        FaultPlan {
+            drop_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay_chips: 0,
+            burst_prob: 0.0,
+            max_burst_chips: 0,
+            truncate_prob: 0.0,
+            max_truncate_frac: 0.0,
+            clock_skew_s: 0.0,
+        }
+    }
+
+    /// The canonical one-knob plan used by the `chaos` experiment: every
+    /// fault class scales linearly with `x` (clamped to `[0, 1]`).
+    pub fn intensity(x: f64) -> Self {
+        let x = x.clamp(0.0, 1.0);
+        FaultPlan {
+            drop_prob: 0.15 * x,
+            delay_prob: 0.25 * x,
+            max_delay_chips: 96,
+            burst_prob: 0.35 * x,
+            max_burst_chips: 48,
+            truncate_prob: 0.20 * x,
+            max_truncate_frac: 0.25,
+            clock_skew_s: 1e-4 * x,
+        }
+    }
+
+    /// Whether no fault can ever fire under this plan.
+    pub fn is_inert(&self) -> bool {
+        self.drop_prob == 0.0
+            && self.delay_prob == 0.0
+            && self.burst_prob == 0.0
+            && self.truncate_prob == 0.0
+            && self.clock_skew_s == 0.0
+    }
+
+    /// Asserts every probability lies in `[0, 1]` and the fraction in
+    /// `[0, 1]`. Called by [`FaultInjector::new`].
+    fn validate(&self) {
+        for (name, p) in [
+            ("drop_prob", self.drop_prob),
+            ("delay_prob", self.delay_prob),
+            ("burst_prob", self.burst_prob),
+            ("truncate_prob", self.truncate_prob),
+            ("max_truncate_frac", self.max_truncate_frac),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be in [0, 1]");
+        }
+        assert!(self.clock_skew_s >= 0.0, "clock_skew_s must be >= 0");
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// A seeded, stateless fault oracle.
+///
+/// Every query is a pure function of `(seed, stream, index)` plus a
+/// per-fault-class salt, so the same injector answers identically no
+/// matter how calls interleave across threads or retries.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultInjector {
+    seed: u64,
+    plan: FaultPlan,
+}
+
+// Per-fault-class salts keep the drop/delay/burst/truncate decisions at
+// one (stream, index) independent of each other.
+const SALT_DROP: u64 = 0xD809;
+const SALT_DELAY: u64 = 0xDE1A;
+const SALT_BURST: u64 = 0xB5B5;
+const SALT_TRUNC: u64 = 0x7277;
+const SALT_SKEW: u64 = 0x5CE3;
+const SALT_SESSION: u64 = 0x5E55;
+
+impl FaultInjector {
+    /// Binds `plan` to `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a plan probability lies outside `[0, 1]` or the skew
+    /// amplitude is negative.
+    pub fn new(seed: u64, plan: FaultPlan) -> Self {
+        plan.validate();
+        FaultInjector { seed, plan }
+    }
+
+    /// The plan this injector draws from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The seed this injector is keyed on.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    #[inline]
+    fn word(&self, stream: u64, index: u64, salt: u64) -> u64 {
+        mix(self
+            .seed
+            .wrapping_add(GOLDEN)
+            .wrapping_add(stream.wrapping_mul(GOLDEN))
+            ^ index.rotate_left(17)
+            ^ salt.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+
+    #[inline]
+    fn fires(&self, stream: u64, index: u64, salt: u64, prob: f64) -> bool {
+        prob > 0.0 && unit(self.word(stream, index, salt)) < prob
+    }
+
+    /// Whether transmission `index` on `stream` is dropped.
+    pub fn drops(&self, stream: u64, index: u64) -> bool {
+        let hit = self.fires(stream, index, SALT_DROP, self.plan.drop_prob);
+        if hit {
+            metric_counter!("fault.injected.drops").inc();
+        }
+        hit
+    }
+
+    /// Delivery delay, in chips, for transmission `index` on `stream`
+    /// (zero when the delay fault does not fire).
+    pub fn delay_chips(&self, stream: u64, index: u64) -> u64 {
+        if self.plan.max_delay_chips == 0
+            || !self.fires(stream, index, SALT_DELAY, self.plan.delay_prob)
+        {
+            return 0;
+        }
+        metric_counter!("fault.injected.delays").inc();
+        let word = self.word(stream, index, SALT_DELAY ^ GOLDEN);
+        1 + word % self.plan.max_delay_chips
+    }
+
+    /// Chip burst to invert within a transmission of `len` chips:
+    /// `Some((start, burst_len))`, or `None` when the fault does not fire.
+    pub fn burst(&self, stream: u64, index: u64, len: usize) -> Option<(usize, usize)> {
+        if len == 0
+            || self.plan.max_burst_chips == 0
+            || !self.fires(stream, index, SALT_BURST, self.plan.burst_prob)
+        {
+            return None;
+        }
+        metric_counter!("fault.injected.bursts").inc();
+        let word = self.word(stream, index, SALT_BURST ^ GOLDEN);
+        let burst_len = 1 + (word as usize) % self.plan.max_burst_chips.min(len);
+        let start = (mix(word) as usize) % (len - burst_len + 1);
+        Some((start, burst_len))
+    }
+
+    /// Post-truncation length for a transmission of `len` chips: `len`
+    /// itself when the fault does not fire, otherwise a shorter nonzero
+    /// length with at most `max_truncate_frac · len` chips removed.
+    pub fn truncated_len(&self, stream: u64, index: u64, len: usize) -> usize {
+        if len <= 1 || !self.fires(stream, index, SALT_TRUNC, self.plan.truncate_prob) {
+            return len;
+        }
+        let max_cut = ((len as f64) * self.plan.max_truncate_frac) as usize;
+        let max_cut = max_cut.min(len - 1);
+        if max_cut == 0 {
+            return len;
+        }
+        metric_counter!("fault.injected.truncations").inc();
+        let word = self.word(stream, index, SALT_TRUNC ^ GOLDEN);
+        len - (1 + (word as usize) % max_cut)
+    }
+
+    /// Clock skew for `node`, in seconds, uniform in
+    /// `[-clock_skew_s, +clock_skew_s]`. Stable per node for the whole
+    /// run.
+    pub fn clock_skew_s(&self, node: u64) -> f64 {
+        if self.plan.clock_skew_s == 0.0 {
+            return 0.0;
+        }
+        let u = unit(self.word(node, 0, SALT_SKEW));
+        (2.0 * u - 1.0) * self.plan.clock_skew_s
+    }
+
+    /// Protocol-level overlay for drivers that do not model individual
+    /// chips: whether session attempt `index` on `stream` is knocked out
+    /// by the combined transmission-fault probability. The combined
+    /// probability treats drop/burst/truncate as independent per-message
+    /// failure sources.
+    pub fn session_disrupted(&self, stream: u64, index: u64) -> bool {
+        let p_ok = (1.0 - self.plan.drop_prob)
+            * (1.0 - self.plan.burst_prob)
+            * (1.0 - self.plan.truncate_prob);
+        let hit = self.fires(stream, index, SALT_SESSION, 1.0 - p_ok);
+        if hit {
+            metric_counter!("fault.injected.sessions").inc();
+        }
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FaultPlan {
+        FaultPlan::intensity(0.8)
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_seed_stream_index() {
+        let a = FaultInjector::new(77, plan());
+        let b = FaultInjector::new(77, plan());
+        for stream in 0..4u64 {
+            for index in 0..256u64 {
+                assert_eq!(a.drops(stream, index), b.drops(stream, index));
+                assert_eq!(a.delay_chips(stream, index), b.delay_chips(stream, index));
+                assert_eq!(a.burst(stream, index, 512), b.burst(stream, index, 512));
+                assert_eq!(
+                    a.truncated_len(stream, index, 512),
+                    b.truncated_len(stream, index, 512)
+                );
+                assert_eq!(
+                    a.session_disrupted(stream, index),
+                    b.session_disrupted(stream, index)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_order_does_not_matter() {
+        let inj = FaultInjector::new(9, plan());
+        let forward: Vec<bool> = (0..64).map(|i| inj.drops(3, i)).collect();
+        let backward: Vec<bool> = (0..64).rev().map(|i| inj.drops(3, i)).collect();
+        let reversed: Vec<bool> = backward.into_iter().rev().collect();
+        assert_eq!(forward, reversed);
+    }
+
+    #[test]
+    fn different_seeds_and_streams_decorrelate() {
+        let a = FaultInjector::new(1, plan());
+        let b = FaultInjector::new(2, plan());
+        let same_seed: Vec<bool> = (0..512).map(|i| a.drops(0, i)).collect();
+        let other_seed: Vec<bool> = (0..512).map(|i| b.drops(0, i)).collect();
+        let other_stream: Vec<bool> = (0..512).map(|i| a.drops(1, i)).collect();
+        assert_ne!(same_seed, other_seed);
+        assert_ne!(same_seed, other_stream);
+    }
+
+    #[test]
+    fn inert_plan_never_fires() {
+        let inj = FaultInjector::new(123, FaultPlan::none());
+        assert!(FaultPlan::none().is_inert());
+        for i in 0..512 {
+            assert!(!inj.drops(0, i));
+            assert_eq!(inj.delay_chips(0, i), 0);
+            assert_eq!(inj.burst(0, i, 256), None);
+            assert_eq!(inj.truncated_len(0, i, 256), 256);
+            assert!(!inj.session_disrupted(0, i));
+        }
+        assert_eq!(inj.clock_skew_s(7), 0.0);
+    }
+
+    #[test]
+    fn rates_roughly_match_the_plan() {
+        let inj = FaultInjector::new(2011, plan());
+        let n = 20_000u64;
+        let drops = (0..n).filter(|&i| inj.drops(0, i)).count() as f64 / n as f64;
+        let expected = plan().drop_prob;
+        assert!(
+            (drops - expected).abs() < 0.01,
+            "drop rate {drops} vs plan {expected}"
+        );
+    }
+
+    #[test]
+    fn burst_and_truncation_stay_in_bounds() {
+        let inj = FaultInjector::new(5, FaultPlan::intensity(1.0));
+        for i in 0..4096 {
+            for len in [1usize, 2, 63, 64, 65, 512] {
+                if let Some((start, blen)) = inj.burst(0, i, len) {
+                    assert!(blen >= 1 && start + blen <= len);
+                }
+                let t = inj.truncated_len(0, i, len);
+                assert!(t >= 1 && t <= len);
+                let cut = len - t;
+                assert!(cut as f64 <= (len as f64) * 0.25 + 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn clock_skew_is_stable_and_bounded() {
+        let inj = FaultInjector::new(40, plan());
+        for node in 0..64 {
+            let s = inj.clock_skew_s(node);
+            assert_eq!(s, inj.clock_skew_s(node));
+            assert!(s.abs() <= plan().clock_skew_s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn invalid_plan_is_rejected() {
+        let bad = FaultPlan {
+            drop_prob: 1.5,
+            ..FaultPlan::none()
+        };
+        let _ = FaultInjector::new(0, bad);
+    }
+}

@@ -22,7 +22,12 @@
 //!   and text/CSV tables for the experiment harness;
 //! * [`metrics`] — a process-global observability registry (counters,
 //!   gauges, fixed-bucket histograms, opt-in trace ring buffer) with a
-//!   JSON-serializable [`metrics::MetricsSnapshot`].
+//!   JSON-serializable [`metrics::MetricsSnapshot`];
+//! * [`faults`] / [`retry`] — a seeded, stateless fault oracle
+//!   ([`faults::FaultInjector`]) plus a budgeted exponential-backoff
+//!   policy ([`retry::RetryPolicy`]) for chaos experiments, both pure
+//!   functions of the run seed so they compose with seed-sharded
+//!   parallelism.
 //!
 //! # Examples
 //!
@@ -47,18 +52,22 @@
 
 pub mod engine;
 pub mod event;
+pub mod faults;
 pub mod geom;
 pub mod grid;
 pub mod metrics;
 pub mod mobility;
+pub mod retry;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod topology;
 
 pub use engine::{Control, Engine, RunOutcome};
+pub use faults::{FaultInjector, FaultPlan};
 pub use geom::{Field, Point};
 pub use metrics::MetricsSnapshot;
+pub use retry::RetryPolicy;
 pub use rng::SimRng;
 pub use stats::RunningStats;
 pub use time::{SimDuration, SimTime};
