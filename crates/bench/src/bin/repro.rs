@@ -7,7 +7,12 @@
 //! EXPERIMENT: table1 fig2a fig2b fig3a fig3b fig4a fig4b fig5a fig5b
 //!             theory dos baselines ablation-redundancy ablation-gamma
 //!             ablation-predist multiantenna jammers timeline chiplevel chaos
-//!             all (default: all)
+//!             scale all (default: all)
+//!
+//! `scale` is the 200k-node (20k with --quick) fig-5(a) sweep on the
+//! sharded discrete-event pipeline. It is deliberately NOT part of
+//! `all`: a full-scale point takes ~10 s × 6 ν values × reps, so run it
+//! explicitly with a small --reps.
 //! --reps N       Monte-Carlo repetitions per point (default 20; paper: 100)
 //! --seed S       base RNG seed (default 2011)
 //! --quick        shrink the network for a fast smoke run
@@ -18,8 +23,8 @@
 
 use jrsnd_bench::{
     ablation_gamma, ablation_predist, ablation_redundancy, baselines, chaos, chiplevel, dos, fig2a,
-    fig2b, fig3a, fig3b, fig4, fig5a, fig5b, jammers, multiantenna, table1, theory,
-    timeline_experiment, FigureOutput, Scale,
+    fig2b, fig3a, fig3b, fig4, fig5a, fig5b, jammers, multiantenna, scale_experiment, table1,
+    theory, timeline_experiment, FigureOutput, Scale,
 };
 use std::io::Write;
 
@@ -114,7 +119,9 @@ usage: repro [EXPERIMENT]... [--reps N] [--seed S] [--quick] [--csv DIR]
              [--metrics PATH]
 experiments: table1 fig2a fig2b fig3a fig3b fig4a fig4b fig5a fig5b theory dos
              baselines ablation-redundancy ablation-gamma ablation-predist
-             multiantenna jammers timeline chiplevel chaos all";
+             multiantenna jammers timeline chiplevel chaos scale all
+             (scale = 200k-node sharded sweep; not part of `all` — run it
+             explicitly with a small --reps)";
 
 fn run_one(name: &str, opts: &Options) -> Result<FigureOutput, String> {
     let (reps, seed, scale) = (opts.reps, opts.seed, opts.scale);
@@ -139,6 +146,7 @@ fn run_one(name: &str, opts: &Options) -> Result<FigureOutput, String> {
         "timeline" => timeline_experiment(seed),
         "chiplevel" => chiplevel(seed),
         "chaos" => chaos(reps, seed, scale),
+        "scale" => scale_experiment(reps, seed, scale),
         other => return Err(format!("unknown experiment `{other}` (see --help)")),
     })
 }

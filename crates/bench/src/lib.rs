@@ -545,6 +545,106 @@ pub fn fig5b(reps: usize, seed: u64, scale: Scale) -> FigureOutput {
     }
 }
 
+/// `scale`: the fig. 5(a) sweep at 100× the paper's population — 200 000
+/// nodes (Full) / 20 000 (Quick) — on the sharded, wheel-backed
+/// [`jrsnd::scale`] pipeline. [`jrsnd::scale::ScaleConfig::scaled`]
+/// preserves the paper's operating regime (node density, code-sharing
+/// probability, per-code compromise), so the curves should keep the
+/// fig. 5(a) shape: `P̂_D` flat around 0.2, `P̂` climbing past 0.9 by
+/// ν = 6. The ν range stops at 6 (the paper's knee): beyond it the
+/// failing-pair BFS balls dominate wall-clock without changing the
+/// story.
+///
+/// When the `BENCH_JSON` environment variable names a file, the
+/// Monte-Carlo wall-clock and discrete-event throughput are written
+/// there as `{id, ns_per_iter}` records (group `sim`), feeding the
+/// `bench_check` regression gate alongside the kernel baselines.
+pub fn scale_experiment(reps: usize, seed: u64, scale: Scale) -> FigureOutput {
+    let n = match scale {
+        Scale::Full => 200_000,
+        Scale::Quick => 20_000,
+    };
+    let values: Vec<usize> = (1..=6).collect();
+    let mut t = TextTable::new(vec![
+        "nu".into(),
+        "P(D-NDP)".into(),
+        "P(M-NDP)".into(),
+        "P(JR-SND)".into(),
+        "P steady-state".into(),
+        "P_M approx (ours)".into(),
+    ]);
+    let mut s_d = Series::new("P(D-NDP)");
+    let mut s_m = Series::new("P(M-NDP)");
+    let mut s_j = Series::new("P(JR-SND)");
+    let mut events = 0u64;
+    let mut dndp_wall_s = 0.0f64;
+    let mut wall_s = 0.0f64;
+    let mut runs = 0u64;
+    let mut threads = 1usize;
+    let mut shards = 0usize;
+    for &nu in &values {
+        let mut config = jrsnd::scale::ScaleConfig::scaled(n);
+        config.params.nu = nu;
+        let (agg, perf) = jrsnd::scale::run_scale_many(&config, reps, seed);
+        let x = nu as f64;
+        let mut row = prob_row(x, &agg);
+        row.push(fmt(agg.p_jrsnd_steady.mean()));
+        row.push(fmt(a_mndp::p_mndp_multi_hop_approx(
+            agg.p_dndp.mean(),
+            agg.degree.mean(),
+            nu,
+        )));
+        t.row(row);
+        s_d.push_stats(x, &agg.p_dndp);
+        s_m.push_stats(x, &agg.p_mndp);
+        s_j.push_stats(x, &agg.p_jrsnd);
+        events += perf.events;
+        dndp_wall_s += perf.dndp_wall_s;
+        wall_s += perf.wall_s;
+        runs += agg.runs();
+        threads = perf.threads;
+        shards = perf.shards;
+    }
+    let events_per_sec = events as f64 / dndp_wall_s.max(1e-12);
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        let records = format!(
+            "[\n  {{\"id\": \"sim/scale_{n}/ns_per_event\", \"ns_per_iter\": {:.1}}},\n  \
+             {{\"id\": \"sim/scale_{n}/montecarlo_wall_ns\", \"ns_per_iter\": {:.0}}}\n]\n",
+            1e9 / events_per_sec.max(1e-12),
+            wall_s * 1e9,
+        );
+        if let Err(e) = std::fs::write(&path, records) {
+            eprintln!("warning: could not write {path}: {e}");
+        }
+    }
+    FigureOutput {
+        id: "Scale".into(),
+        caption: format!("fig. 5(a) at n = {n} on the sharded wheel pipeline"),
+        table: t,
+        notes: vec![
+            format!(
+                "scaled regime: l = {}, q = 100 absolute, field side = {:.0} m (density-preserving)",
+                n / 50,
+                5000.0 * (n as f64 / 2000.0).sqrt()
+            ),
+            "expected shape: P(D-NDP) flat ~0.2, P(JR-SND) > 0.9 by nu = 6 (as fig. 5(a))".into(),
+            format!(
+                "determinism: byte-identical across JRSND_THREADS for shards = {shards}; \
+                 shard count itself is part of the configuration"
+            ),
+            format!(
+                "perf: {runs} runs, {events} events in {dndp_wall_s:.2} s event phase \
+                 ({events_per_sec:.0} events/s), {wall_s:.2} s total, {threads} threads"
+            ),
+        ],
+        series: vec![s_d, s_m, s_j],
+        chart: Some(svg::ChartSpec::probability(
+            &format!("Scale: P vs nu at n = {n}"),
+            "nu (max hops)",
+        )),
+    }
+}
+
 /// Theory-vs-simulation bracketing: Theorem 1 bounds around the measured
 /// `P̂_D` for both jammer types across q.
 pub fn theory(reps: usize, seed: u64, scale: Scale) -> FigureOutput {

@@ -66,6 +66,7 @@ pub mod node;
 pub mod params;
 pub mod predist;
 pub mod revocation;
+pub mod scale;
 pub mod schedule_sim;
 pub mod timeline;
 
@@ -75,3 +76,4 @@ pub use jammer::{Jammer, JammerKind};
 pub use network::{run_once, run_once_opt, ExperimentConfig, ResilienceConfig, RunResult};
 pub use params::{Params, ParamsError};
 pub use predist::CodeAssignment;
+pub use scale::{run_scale, run_scale_many, ScaleConfig, ScalePerf};

@@ -1,0 +1,781 @@
+//! The 100k+-node evaluation pipeline: region-sharded D-NDP on the
+//! timing-wheel engine, arena topology, and a scratch-reusing M-NDP
+//! closure.
+//!
+//! [`crate::network::run_once`] walks every physical pair sequentially —
+//! exactly right at the paper's 2000 nodes, hopeless at 100×–500× that.
+//! This module re-plans the same experiment for large fields:
+//!
+//! * placement goes into an SoA [`NodeStore`] and the physical topology
+//!   into an arena-allocated [`CsrGraph`] (no per-node allocations);
+//! * the field is split into `shards` vertical strips; each strip owns
+//!   the physical pairs whose lower-id endpoint lies inside it and runs
+//!   them on its own wheel-backed discrete-event [`Engine`], with every
+//!   pair's D-NDP draw forked straight off the run seed;
+//! * shard outputs are folded *sequentially in strip order* into the
+//!   logical graph, and the M-NDP capability/closure passes run sharded
+//!   over a shared read-only graph with per-worker BFS scratch.
+//!
+//! # Determinism contract
+//!
+//! For a fixed [`ScaleConfig`] (including `shards`) and seed, the
+//! [`RunResult`] is a pure function of the inputs: per-pair randomness is
+//! `root.fork("pair", u ≪ 32 | v)` (never a shared stream), each shard's
+//! event order is the engine's total `(time, seq)` order, and every
+//! cross-shard reduction happens in fixed strip order on the calling
+//! thread. Worker-thread count (`JRSND_THREADS`) is therefore invisible
+//! — byte-identical [`Aggregate::to_json`] output — and so is the
+//! scheduler backend (timing wheel vs. reference heap). Changing
+//! `shards` itself changes fold order, i.e. the low-order floating-point
+//! bits of latency means; it is part of the configuration, not a tuning
+//! knob.
+
+use crate::dndp::{self, DndpConfig, DndpOutcome};
+use crate::jammer::{Jammer, JammerKind};
+use crate::montecarlo::Aggregate;
+use crate::network::RunResult;
+use crate::params::Params;
+use crate::predist::CodeAssignment;
+use jrsnd_sim::engine::{Control, Engine, SchedulerKind};
+use jrsnd_sim::rng::SimRng;
+use jrsnd_sim::soa::{CsrGraph, NodeStore};
+use jrsnd_sim::stats::RunningStats;
+use jrsnd_sim::time::SimTime;
+use jrsnd_sim::topology::Graph;
+use jrsnd_sim::{metric_counter, metric_gauge};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Configuration of one large-scale run.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Protocol and deployment parameters (see [`ScaleConfig::scaled`]
+    /// for the density-preserving derivation).
+    pub params: Params,
+    /// The adversary. [`JammerKind::Sweep`] is rejected: its jamming
+    /// decisions depend on a global message counter, which per-shard
+    /// jammer clones cannot reproduce.
+    pub jammer: JammerKind,
+    /// D-NDP protocol variant.
+    pub dndp: DndpConfig,
+    /// Number of vertical field strips. Part of the determinism
+    /// contract: results are reproducible per shard count.
+    pub shards: usize,
+    /// The initiation period `T` (s): each pair's D-NDP fires at a
+    /// seed-forked time in `[0, T)` on its shard's event engine.
+    pub period: f64,
+    /// Discrete-event scheduler backend for the shard engines.
+    pub scheduler: SchedulerKind,
+}
+
+impl ScaleConfig {
+    /// Scales the paper's Table I deployment to `n` nodes while
+    /// preserving the fig. 5(a) operating regime:
+    ///
+    /// * the field side grows as `5000 · √(n/2000)` m, keeping node
+    ///   density — and hence mean degree `g` — fixed;
+    /// * `m` stays at 100 rounds and the partition size grows as
+    ///   `l = n/50`, keeping the pairwise code-sharing probability
+    ///   `≈ m(l−1)/(n−1)` fixed;
+    /// * the adversary stays at `q = 100` captured nodes *absolute*,
+    ///   which keeps the per-code compromise probability
+    ///   `1−(1−q/n)^l ≈ 1−e^{−ql/n}` fixed.
+    ///
+    /// A naive proportional scaling of all three would instead collapse
+    /// code sharing (`l` fixed ⇒ sharing `∝ 1/n`) or saturate compromise,
+    /// silently changing the regime the figures are drawn in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a positive multiple of 50 (so `l = n/50`
+    /// divides the population into exact partitions).
+    pub fn scaled(n: usize) -> Self {
+        assert!(
+            n >= 100 && n.is_multiple_of(50),
+            "scaled population must be a multiple of 50, got {n}"
+        );
+        let mut params = Params::table1();
+        params.n = n;
+        let side = 5000.0 * (n as f64 / 2000.0).sqrt();
+        params.field_w = side;
+        params.field_h = side;
+        params.l = n / 50;
+        params.q = 100.min(n);
+        ScaleConfig {
+            params,
+            jammer: JammerKind::Reactive,
+            dndp: DndpConfig::default(),
+            shards: 16,
+            period: 30.0,
+            scheduler: SchedulerKind::Wheel,
+        }
+    }
+
+    fn validate(&self) {
+        self.params.validate().expect("invalid parameters");
+        assert!(self.shards >= 1, "need at least one shard");
+        assert!(
+            self.period > 0.0 && self.period.is_finite(),
+            "period must be positive"
+        );
+        assert!(
+            self.jammer != JammerKind::Sweep,
+            "sweep jamming is stateful across pairs and cannot be sharded \
+             deterministically; use the sequential network::run_once driver"
+        );
+    }
+}
+
+/// Wall-clock accounting of one [`run_scale`] invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalePerf {
+    /// Total wall-clock time (s), all phases.
+    pub wall_s: f64,
+    /// Wall-clock time (s) of the sharded discrete-event D-NDP phase.
+    pub dndp_wall_s: f64,
+    /// Events processed across all shard engines.
+    pub events: u64,
+    /// Events per second of the discrete-event phase.
+    pub events_per_sec: f64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Field strips.
+    pub shards: usize,
+}
+
+/// What one strip's event engine produced: per-pair outcomes in event
+/// order, plus the engine's event count.
+struct ShardDndp {
+    outcomes: Vec<(u32, u32, DndpOutcome)>,
+    events: u64,
+}
+
+fn resolve_threads(explicit: Option<usize>) -> usize {
+    explicit
+        .or_else(|| {
+            std::env::var("JRSND_THREADS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .filter(|&t| t > 0)
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+fn pair_key(u: u32, v: u32) -> u64 {
+    (u64::from(u) << 32) | u64::from(v)
+}
+
+/// Runs one strip's D-NDP on its own discrete-event engine: one event
+/// per owned pair at a seed-forked time in `[0, period)`, FIFO at equal
+/// times, outcomes recorded in event order.
+fn dndp_shard(
+    config: &ScaleConfig,
+    root: &SimRng,
+    assignment: &CodeAssignment,
+    jammer: &Jammer,
+    pairs: &[(u32, u32)],
+) -> ShardDndp {
+    let params = &config.params;
+    let mut engine: Engine<u32> = Engine::with_scheduler(config.scheduler);
+    for (i, &(u, v)) in pairs.iter().enumerate() {
+        let t = root
+            .fork("pair-time", pair_key(u, v))
+            .gen_range(0.0..config.period);
+        engine.schedule_at(SimTime::from_secs_f64(t), i as u32);
+    }
+    let mut outcomes = Vec::with_capacity(pairs.len());
+    engine.run(SimTime::from_secs_f64(config.period), |_, _, i| {
+        let (u, v) = pairs[i as usize];
+        let shared = assignment.shared_codes(u as usize, v as usize);
+        let mut rng = root.fork("pair", pair_key(u, v));
+        let out = dndp::simulate_pair_with(params, &shared, jammer, config.dndp, &mut rng);
+        outcomes.push((u, v, out));
+        Control::Continue
+    });
+    ShardDndp {
+        outcomes,
+        events: engine.events_processed(),
+    }
+}
+
+/// Reusable single-allocation BFS state: a `u16` distance column plus a
+/// touched-list so resets cost O(visited), not O(n).
+struct BfsScratch {
+    dist: Vec<u16>,
+    touched: Vec<u32>,
+    queue: VecDeque<u32>,
+}
+
+impl BfsScratch {
+    fn new(n: usize) -> Self {
+        BfsScratch {
+            dist: vec![u16::MAX; n],
+            touched: Vec::new(),
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Hop count of the shortest logical path between `u` and `v` of at
+    /// most `max_hops` hops that does not traverse the direct `(u, v)`
+    /// edge — semantically `remove_edge(u, v)`, `shortest_path_within`,
+    /// `add_edge(u, v)`, without mutating the shared graph. Starts from
+    /// the lower-degree endpoint and exits as soon as the other is
+    /// reached.
+    fn relay_hops(&mut self, g: &Graph, u: usize, v: usize, max_hops: usize) -> Option<usize> {
+        debug_assert!(max_hops < usize::from(u16::MAX));
+        let (src, dst) = if g.degree(u) <= g.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.dist[src] = 0;
+        self.touched.push(src as u32);
+        self.queue.push_back(src as u32);
+        let mut found = None;
+        'bfs: while let Some(a) = self.queue.pop_front() {
+            let a = a as usize;
+            let da = usize::from(self.dist[a]);
+            if da == max_hops {
+                continue;
+            }
+            for &b in g.neighbors(a) {
+                if (a == u && b == v) || (a == v && b == u) {
+                    continue; // the banned direct edge
+                }
+                if self.dist[b] == u16::MAX {
+                    if b == dst {
+                        found = Some(da + 1);
+                        break 'bfs;
+                    }
+                    self.dist[b] = (da + 1) as u16;
+                    self.touched.push(b as u32);
+                    self.queue.push_back(b as u32);
+                }
+            }
+        }
+        for &t in &self.touched {
+            self.dist[t as usize] = u16::MAX;
+        }
+        self.touched.clear();
+        self.queue.clear();
+        found
+    }
+}
+
+/// Flat component labels of the logical graph (union-find, then one
+/// flattening pass) — the read-only pre-check that lets shard workers
+/// skip BFS for pairs in different components.
+fn component_labels(g: &Graph) -> Vec<u32> {
+    let n = g.len();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            let gp = parent[parent[x as usize] as usize];
+            parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+    for (u, v) in g.edges() {
+        let (ru, rv) = (find(&mut parent, u as u32), find(&mut parent, v as u32));
+        if ru != rv {
+            parent[ru.max(rv) as usize] = ru.min(rv);
+        }
+    }
+    for i in 0..n as u32 {
+        let r = find(&mut parent, i);
+        parent[i as usize] = r;
+    }
+    parent
+}
+
+/// Statically chunks `shards` work items over `threads` workers, writing
+/// each item's output into its own slot — scheduling-invisible, like the
+/// Monte-Carlo seed sharding.
+fn for_each_shard<T, W, F>(work: &mut [W], threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    W: Send,
+    F: Fn(usize, &mut W) -> T + Sync,
+{
+    let shards = work.len();
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(shards);
+    let threads = threads.clamp(1, shards.max(1));
+    let chunk = shards.div_ceil(threads).max(1);
+    if threads <= 1 || shards <= 1 {
+        for (i, w) in work.iter_mut().enumerate() {
+            slots.push(Some(f(i, w)));
+        }
+    } else {
+        slots.resize_with(shards, || None);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for (chunk_index, (slot_chunk, work_chunk)) in slots
+                .chunks_mut(chunk)
+                .zip(work.chunks_mut(chunk))
+                .enumerate()
+            {
+                let offset = chunk_index * chunk;
+                scope.spawn(move || {
+                    for (j, (slot, w)) in slot_chunk.iter_mut().zip(work_chunk).enumerate() {
+                        *slot = Some(f(offset + j, w));
+                    }
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every shard slot filled"))
+        .collect()
+}
+
+/// Runs one seeded large-scale instance. See the module docs for the
+/// pipeline and the determinism contract.
+///
+/// # Panics
+///
+/// Panics on invalid parameters, zero shards, a non-positive period, or
+/// a sweep jammer.
+pub fn run_scale(config: &ScaleConfig, seed: u64) -> (RunResult, ScalePerf) {
+    run_scale_with_threads(config, seed, None)
+}
+
+/// [`run_scale`] with an explicit worker-thread count (`None` = the
+/// `JRSND_THREADS` variable, then available parallelism). The result is
+/// byte-identical for every thread count.
+///
+/// # Panics
+///
+/// As [`run_scale`], plus if `threads == Some(0)`.
+pub fn run_scale_with_threads(
+    config: &ScaleConfig,
+    seed: u64,
+    threads: Option<usize>,
+) -> (RunResult, ScalePerf) {
+    config.validate();
+    assert!(threads != Some(0), "need at least one worker thread");
+    let start = Instant::now();
+    let params = &config.params;
+    let root = SimRng::seed_from_u64(seed);
+    let field = params.field();
+    let threads = resolve_threads(threads);
+
+    // Placement into the SoA store, physical topology into the CSR arena.
+    // Same labelled streams as network::run_once, so the deployment is
+    // the one the sequential driver would have produced for this seed.
+    let mut placement_rng = root.fork("placement", 0);
+    let store = NodeStore::sample_uniform(field, params.n, &mut placement_rng);
+    let physical = CsrGraph::build(field, &store, params.range);
+    let mean_degree = physical.mean_degree();
+
+    // Pre-distribution and node compromise.
+    let mut predist_rng = root.fork("predist", 0);
+    let assignment = CodeAssignment::generate(params, &mut predist_rng);
+    let mut compromise_rng = root.fork("compromise", 0);
+    let mut node_order: Vec<usize> = (0..params.n).collect();
+    node_order.shuffle(&mut compromise_rng);
+    let jammer = Jammer::new(
+        config.jammer,
+        assignment.compromised_codes(&node_order[..params.q]),
+        params,
+    );
+
+    // Strip ownership: a pair belongs to the strip holding its lower-id
+    // endpoint. Pure function of placement, so identical on every worker
+    // layout.
+    let shards = config.shards;
+    let strip_of = |u: u32| -> usize {
+        let x = store.position(u as usize).x;
+        (((x / field.width()) * shards as f64) as usize).min(shards - 1)
+    };
+    let mut shard_pairs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); shards];
+    for (u, v) in physical.edges() {
+        shard_pairs[strip_of(u)].push((u, v));
+    }
+
+    // Phase A: sharded discrete-event D-NDP. The jammer holds interior
+    // mutability (sweep bookkeeping) and is not Sync, so each strip gets
+    // its own clone; the accepted kinds are stateless across pairs.
+    let dndp_start = Instant::now();
+    let mut work: Vec<(Vec<(u32, u32)>, Jammer)> = shard_pairs
+        .into_iter()
+        .map(|pairs| (pairs, jammer.clone()))
+        .collect();
+    let dndp_shards = for_each_shard(&mut work, threads, |_, (pairs, jam)| {
+        dndp_shard(config, &root, &assignment, jam, pairs)
+    });
+    let dndp_wall_s = dndp_start.elapsed().as_secs_f64();
+    let shard_pairs: Vec<Vec<(u32, u32)>> = work.into_iter().map(|(pairs, _)| pairs).collect();
+
+    // Phase B: fold in fixed strip order on this thread — the reduction
+    // the determinism contract pins down.
+    let mut logical = Graph::new(params.n);
+    let mut dndp_latency = RunningStats::new();
+    let mut dndp_pairs = 0usize;
+    let mut events = 0u64;
+    for shard in &dndp_shards {
+        events += shard.events;
+        for &(u, v, out) in &shard.outcomes {
+            if out.discovered {
+                logical.add_edge(u as usize, v as usize);
+                dndp_pairs += 1;
+                if let Some(t) = out.latency {
+                    dndp_latency.push(t);
+                }
+            }
+        }
+    }
+
+    // Phase C-1: the Theorem 3 capability count — a relay path of
+    // 2..=ν hops avoiding the pair's own edge — sharded over a shared
+    // read-only graph. The component pre-check only applies to pairs
+    // without a direct logical edge (removing a present edge may split
+    // a component, so those pairs go straight to the banned BFS).
+    let comp = component_labels(&logical);
+    let mut capability_work: Vec<&[(u32, u32)]> =
+        shard_pairs.iter().map(|p| p.as_slice()).collect();
+    let capable_per_shard = for_each_shard(&mut capability_work, threads, |_, pairs| {
+        let mut scratch = BfsScratch::new(params.n);
+        let mut capable = 0usize;
+        for &(u, v) in pairs.iter() {
+            let (u, v) = (u as usize, v as usize);
+            if !logical.has_edge(u, v) && comp[u] != comp[v] {
+                continue;
+            }
+            if scratch.relay_hops(&logical, u, v, params.nu).is_some() {
+                capable += 1;
+            }
+        }
+        capable
+    });
+    let mndp_capable_pairs: usize = capable_per_shard.iter().sum();
+
+    // Phase C-2: M-NDP closure to fixpoint. Each round evaluates every
+    // still-undiscovered physical pair against the round-start graph
+    // (sharded, read-only), then adds the union of discoveries in strip
+    // order — the same fixpoint mndp::discover_closure reaches, because
+    // a pair found against a subgraph is still found against any
+    // supergraph, and rounds repeat until nothing new appears.
+    let mut mndp_latency = RunningStats::new();
+    let mut mndp_pairs = 0usize;
+    let mut extra_steady = 0usize;
+    let mut epochs = 0usize;
+    loop {
+        let comp = component_labels(&logical);
+        let mut round_work: Vec<&[(u32, u32)]> = shard_pairs.iter().map(|p| p.as_slice()).collect();
+        let found_per_shard = for_each_shard(&mut round_work, threads, |_, pairs| {
+            let mut scratch = BfsScratch::new(params.n);
+            let mut found: Vec<(u32, u32, usize)> = Vec::new();
+            for &(u, v) in pairs.iter() {
+                let (ui, vi) = (u as usize, v as usize);
+                if logical.has_edge(ui, vi) || comp[ui] != comp[vi] {
+                    continue;
+                }
+                if let Some(hops) = scratch.relay_hops(&logical, ui, vi, params.nu) {
+                    found.push((u, v, hops));
+                }
+            }
+            found
+        });
+        let total: usize = found_per_shard.iter().map(Vec::len).sum();
+        if total == 0 {
+            break;
+        }
+        epochs += 1;
+        let first_round = mndp_pairs == 0 && extra_steady == 0;
+        for shard_found in &found_per_shard {
+            for &(u, v, hops) in shard_found {
+                logical.add_edge(u as usize, v as usize);
+                if first_round {
+                    mndp_latency.push(crate::analysis::mndp::t_mndp(params, hops, mean_degree));
+                }
+            }
+        }
+        if first_round {
+            mndp_pairs = total;
+        } else {
+            extra_steady += total;
+        }
+    }
+
+    let wall_s = start.elapsed().as_secs_f64();
+    let perf = ScalePerf {
+        wall_s,
+        dndp_wall_s,
+        events,
+        events_per_sec: events as f64 / dndp_wall_s.max(1e-12),
+        threads,
+        shards,
+    };
+    metric_counter!("scale.runs").inc();
+    metric_counter!("scale.events").add(events);
+    metric_gauge!("scale.events_per_sec").set(perf.events_per_sec);
+    metric_gauge!("scale.wall_s").set(wall_s);
+    let result = RunResult {
+        physical_pairs: physical.edge_count(),
+        dndp_pairs,
+        mndp_pairs,
+        mndp_extra_steady_pairs: extra_steady,
+        mndp_capable_pairs,
+        mean_degree,
+        mndp_epochs: epochs,
+        dndp_latency,
+        mndp_latency,
+        degraded_pairs: 0,
+        retry_attempts: physical.edge_count() as u64,
+    };
+    (result, perf)
+}
+
+/// Aggregates `reps` seeded [`run_scale`] instances (seeds
+/// `base_seed..base_seed+reps`), folding sequentially in seed order.
+/// Each instance parallelizes internally over its shards, so repetitions
+/// run one after another. The returned [`ScalePerf`] sums events and
+/// discrete-event wall time over all repetitions.
+///
+/// # Panics
+///
+/// As [`run_scale`], plus if `reps == 0`.
+pub fn run_scale_many(config: &ScaleConfig, reps: usize, base_seed: u64) -> (Aggregate, ScalePerf) {
+    assert!(reps > 0, "need at least one repetition");
+    let start = Instant::now();
+    let mut agg = Aggregate::default();
+    let mut events = 0u64;
+    let mut dndp_wall_s = 0.0f64;
+    let mut threads = 1usize;
+    for i in 0..reps {
+        let (result, perf) = run_scale(config, base_seed + i as u64);
+        agg.absorb(&result);
+        events += perf.events;
+        dndp_wall_s += perf.dndp_wall_s;
+        threads = perf.threads;
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let perf = ScalePerf {
+        wall_s,
+        dndp_wall_s,
+        events,
+        events_per_sec: events as f64 / dndp_wall_s.max(1e-12),
+        threads,
+        shards: config.shards,
+    };
+    (agg, perf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mndp;
+
+    /// A small scaled config that keeps the Table I density (ca. 550
+    /// nodes in a ~2600 m field) so the tests run in milliseconds.
+    fn small_config() -> ScaleConfig {
+        let mut c = ScaleConfig::scaled(550);
+        c.shards = 4;
+        c
+    }
+
+    #[test]
+    fn scaled_preserves_the_operating_regime() {
+        let base = Params::table1();
+        let big = ScaleConfig::scaled(200_000).params;
+        // Density: same field area per node.
+        let density = |p: &Params| p.n as f64 / (p.field_w * p.field_h);
+        assert!((density(&big) / density(&base) - 1.0).abs() < 1e-9);
+        // Code sharing: m(l-1)/(n-1) within a few percent (the -1s
+        // bend the ratio slightly as n grows).
+        let share = |p: &Params| p.m as f64 * (p.l as f64 - 1.0) / (p.n as f64 - 1.0);
+        assert!((share(&big) / share(&base) - 1.0).abs() < 0.05);
+        // Per-code compromise 1-(1-q/n)^l stays in the fig5a band
+        // (q = 100 at n = 2000 gives ~0.87).
+        let compromise = |p: &Params, q: f64| 1.0 - (1.0 - q / p.n as f64).powi(p.l as i32);
+        let at_big = compromise(&big, big.q as f64);
+        let at_base = compromise(&base, 100.0);
+        assert!(
+            (at_big - at_base).abs() < 0.02,
+            "compromise regime drifted: {at_base} -> {at_big}"
+        );
+        big.validate().expect("scaled params must validate");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 50")]
+    fn scaled_rejects_odd_populations() {
+        ScaleConfig::scaled(12_345);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep jamming")]
+    fn sweep_jammer_is_rejected() {
+        let mut c = small_config();
+        c.jammer = JammerKind::Sweep;
+        run_scale(&c, 1);
+    }
+
+    #[test]
+    fn thread_count_is_byte_invisible() {
+        let c = small_config();
+        let json = |threads| {
+            let (r, _) = run_scale_with_threads(&c, 42, Some(threads));
+            let mut agg = Aggregate::default();
+            agg.absorb(&r);
+            agg.to_json()
+        };
+        let one = json(1);
+        assert_eq!(one, json(2));
+        assert_eq!(one, json(4));
+        assert_eq!(one, json(7));
+    }
+
+    #[test]
+    fn wheel_and_heap_backends_are_byte_identical() {
+        let mut wheel = small_config();
+        wheel.scheduler = SchedulerKind::Wheel;
+        let mut heap = small_config();
+        heap.scheduler = SchedulerKind::ReferenceHeap;
+        let json = |c: &ScaleConfig| {
+            let (r, _) = run_scale(c, 7);
+            let mut agg = Aggregate::default();
+            agg.absorb(&r);
+            agg.to_json()
+        };
+        assert_eq!(json(&wheel), json(&heap));
+    }
+
+    /// End-to-end semantics check: a sequential in-test reference that
+    /// replays each pair's forked RNG and uses the mutate-the-graph
+    /// capability/closure primitives must agree with the sharded
+    /// pipeline on every count (floating-point latency means may differ
+    /// in fold order only).
+    #[test]
+    fn sharded_pipeline_matches_sequential_reference() {
+        let config = small_config();
+        let seed = 11u64;
+        let (got, perf) = run_scale(&config, seed);
+
+        let params = &config.params;
+        let root = SimRng::seed_from_u64(seed);
+        let field = params.field();
+        let mut placement_rng = root.fork("placement", 0);
+        let store = NodeStore::sample_uniform(field, params.n, &mut placement_rng);
+        let physical = CsrGraph::build(field, &store, params.range);
+        let mut predist_rng = root.fork("predist", 0);
+        let assignment = CodeAssignment::generate(params, &mut predist_rng);
+        let mut compromise_rng = root.fork("compromise", 0);
+        let mut node_order: Vec<usize> = (0..params.n).collect();
+        node_order.shuffle(&mut compromise_rng);
+        let jammer = Jammer::new(
+            config.jammer,
+            assignment.compromised_codes(&node_order[..params.q]),
+            params,
+        );
+
+        let mut logical = Graph::new(params.n);
+        let mut dndp_pairs = 0usize;
+        let mut latencies = Vec::new();
+        for (u, v) in physical.edges() {
+            let (u, v) = (u as usize, v as usize);
+            let shared = assignment.shared_codes(u, v);
+            let mut rng = root.fork("pair", pair_key(u as u32, v as u32));
+            let out = dndp::simulate_pair_with(params, &shared, &jammer, config.dndp, &mut rng);
+            if out.discovered {
+                logical.add_edge(u, v);
+                dndp_pairs += 1;
+                if let Some(t) = out.latency {
+                    latencies.push(t);
+                }
+            }
+        }
+        assert_eq!(got.physical_pairs, physical.edge_count());
+        assert_eq!(got.dndp_pairs, dndp_pairs);
+        assert_eq!(got.mean_degree, physical.mean_degree());
+        assert_eq!(got.dndp_latency.count(), latencies.len() as u64);
+        assert!(
+            (got.dndp_latency.mean() - latencies.iter().sum::<f64>() / latencies.len() as f64)
+                .abs()
+                < 1e-9
+        );
+
+        // Capability via the mutate-and-restore primitive.
+        let mut capable = 0usize;
+        let physical_graph = physical.to_graph();
+        for (u, v) in physical_graph.edges() {
+            let had = logical.remove_edge(u, v);
+            if logical.shortest_path_within(u, v, params.nu).is_some() {
+                capable += 1;
+            }
+            if had {
+                logical.add_edge(u, v);
+            }
+        }
+        assert_eq!(got.mndp_capable_pairs, capable);
+
+        // Closure via the existing sequential fixpoint.
+        let single = mndp::closure_pass(&logical, &physical_graph, params.nu);
+        for &(u, v, _) in &single {
+            logical.add_edge(u, v);
+        }
+        let (extra, later_epochs) =
+            mndp::discover_closure(&mut logical, &physical_graph, params.nu);
+        assert_eq!(got.mndp_pairs, single.len());
+        assert_eq!(got.mndp_extra_steady_pairs, extra.len());
+        assert_eq!(
+            got.mndp_epochs,
+            usize::from(!single.is_empty()) + later_epochs
+        );
+        assert_eq!(got.retry_attempts, got.physical_pairs as u64);
+        assert_eq!(got.degraded_pairs, 0);
+        assert_eq!(perf.events, got.physical_pairs as u64);
+        assert!(perf.events_per_sec > 0.0);
+    }
+
+    #[test]
+    fn shard_count_changes_only_float_fold_order() {
+        let mut one = small_config();
+        one.shards = 1;
+        let mut many = small_config();
+        many.shards = 7;
+        let (a, _) = run_scale(&one, 23);
+        let (b, _) = run_scale(&many, 23);
+        assert_eq!(a.physical_pairs, b.physical_pairs);
+        assert_eq!(a.dndp_pairs, b.dndp_pairs);
+        assert_eq!(a.mndp_pairs, b.mndp_pairs);
+        assert_eq!(a.mndp_extra_steady_pairs, b.mndp_extra_steady_pairs);
+        assert_eq!(a.mndp_capable_pairs, b.mndp_capable_pairs);
+        assert_eq!(a.mndp_epochs, b.mndp_epochs);
+        assert_eq!(a.dndp_latency.count(), b.dndp_latency.count());
+        assert!((a.dndp_latency.mean() - b.dndp_latency.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_scale_many_aggregates_in_seed_order() {
+        let c = small_config();
+        let (agg, perf) = run_scale_many(&c, 3, 100);
+        assert_eq!(agg.runs(), 3);
+        let mut manual = Aggregate::default();
+        for s in 100..103 {
+            manual.absorb(&run_scale(&c, s).0);
+        }
+        assert_eq!(agg.to_json(), manual.to_json());
+        assert!(perf.events > 0);
+        assert_eq!(perf.shards, c.shards);
+    }
+
+    #[test]
+    fn probabilities_behave_like_the_sequential_driver() {
+        let r = run_scale(&small_config(), 5).0;
+        assert!(r.physical_pairs > 100, "degenerate topology");
+        assert!((0.0..=1.0).contains(&r.p_dndp()));
+        assert!((0.0..=1.0).contains(&r.p_mndp()));
+        assert!((0.0..=1.0).contains(&r.p_jrsnd()));
+        assert!(r.p_jrsnd() >= r.p_dndp());
+        assert!(r.dndp_pairs + r.mndp_pairs <= r.physical_pairs);
+    }
+}

@@ -17,9 +17,10 @@ use crate::predist::CodeAssignment;
 use jrsnd_sim::engine::{Control, Engine};
 use jrsnd_sim::mobility::{Mobility, RandomWaypoint, StaticUniform};
 use jrsnd_sim::rng::SimRng;
+use jrsnd_sim::soa::DynamicTopology;
 use jrsnd_sim::stats::RunningStats;
 use jrsnd_sim::time::{SimDuration, SimTime};
-use jrsnd_sim::topology::{physical_graph, Graph};
+use jrsnd_sim::topology::Graph;
 use jrsnd_sim::{metric_counter, metric_gauge, sim_trace};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -173,7 +174,10 @@ pub fn run_timeline(config: &TimelineConfig, seed: u64) -> TimelineMetrics {
     }
     engine.schedule_at(SimTime::from_secs_f64(config.refresh), Event::Refresh);
 
-    let mut physical = physical_graph(field, &position_at(SimTime::ZERO), params.range);
+    // Incrementally maintained physical topology: each refresh relocates
+    // only the nodes that moved instead of rebuilding from scratch, so a
+    // refresh over a mostly-stationary field costs O(moved), not O(n).
+    let mut physical = DynamicTopology::new(field, &position_at(SimTime::ZERO), params.range);
     let mut logical = Graph::new(params.n);
     // When did each currently-physical pair appear? (for rediscovery delay)
     let mut appeared: HashMap<(usize, usize), f64> = HashMap::new();
@@ -243,12 +247,12 @@ pub fn run_timeline(config: &TimelineConfig, seed: u64) -> TimelineMetrics {
                 eng.schedule_in(SimDuration::from_secs_f64(delay), Event::Initiate { node });
             }
             Event::Refresh => {
-                let new_physical = physical_graph(field, &position_at(now), params.range);
+                physical.advance(&position_at(now));
                 // Expire logical links whose peers moved out of range
                 // (the monitoring timeout of Section IV-A).
                 let stale: Vec<(usize, usize)> = logical
                     .edges()
-                    .filter(|&(u, v)| !new_physical.has_edge(u, v))
+                    .filter(|&(u, v)| !physical.has_edge(u, v))
                     .collect();
                 for (u, v) in stale {
                     logical.remove_edge(u, v);
@@ -260,11 +264,10 @@ pub fn run_timeline(config: &TimelineConfig, seed: u64) -> TimelineMetrics {
                     );
                 }
                 // Track appearance times of fresh physical pairs.
-                for (u, v) in new_physical.edges() {
+                for (u, v) in physical.edges() {
                     appeared.entry((u, v)).or_insert(now_s);
                 }
-                appeared.retain(|&(u, v), _| new_physical.has_edge(u, v));
-                physical = new_physical;
+                appeared.retain(|&(u, v), _| physical.has_edge(u, v));
                 // Coverage sample.
                 let denom = physical.edge_count();
                 let cov = if denom == 0 {

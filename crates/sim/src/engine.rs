@@ -7,6 +7,69 @@
 
 use crate::event::{EventId, EventQueue};
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::TimingWheel;
+
+/// Which pending-event structure an [`Engine`] runs on.
+///
+/// Both obey the identical determinism contract — events fire in
+/// `(time, schedule-order)` — so a run's outputs are byte-identical
+/// across backends; the heap queue is retained as the reference oracle
+/// the timing wheel is continuously checked against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Hierarchical timing wheel ([`crate::wheel::TimingWheel`]):
+    /// O(1) schedule, amortized O(1) pop. The default.
+    #[default]
+    Wheel,
+    /// The original binary-heap [`crate::event::EventQueue`] —
+    /// O(log n) operations, kept as the reference implementation.
+    ReferenceHeap,
+}
+
+/// The pending-event set behind an [`Engine`], dispatching to the chosen
+/// scheduler.
+#[derive(Debug)]
+enum Backend<E> {
+    Wheel(Box<TimingWheel<E>>),
+    Heap(EventQueue<E>),
+}
+
+impl<E> Backend<E> {
+    fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        match self {
+            Backend::Wheel(w) => w.schedule(time, payload),
+            Backend::Heap(q) => q.schedule(time, payload),
+        }
+    }
+
+    fn cancel(&mut self, id: EventId) -> bool {
+        match self {
+            Backend::Wheel(w) => w.cancel(id),
+            Backend::Heap(q) => q.cancel(id),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        match self {
+            Backend::Wheel(w) => w.pop(),
+            Backend::Heap(q) => q.pop(),
+        }
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            Backend::Wheel(w) => w.peek_time(),
+            Backend::Heap(q) => q.peek_time(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Backend::Wheel(w) => w.len(),
+            Backend::Heap(q) => q.len(),
+        }
+    }
+}
 
 /// Why [`Engine::run`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,7 +122,7 @@ pub enum Control {
 /// ```
 #[derive(Debug)]
 pub struct Engine<E> {
-    queue: EventQueue<E>,
+    queue: Backend<E>,
     now: SimTime,
     events_processed: u64,
     event_budget: u64,
@@ -74,14 +137,32 @@ impl<E> Default for Engine<E> {
 
 impl<E> Engine<E> {
     /// Creates an engine at time zero with an effectively unlimited event
-    /// budget.
+    /// budget, running on the default timing-wheel scheduler.
     pub fn new() -> Self {
+        Engine::with_scheduler(SchedulerKind::default())
+    }
+
+    /// Creates an engine on an explicit scheduler backend. Outputs are
+    /// byte-identical across backends; `ReferenceHeap` exists so tests can
+    /// replay a run against the oracle scheduler.
+    pub fn with_scheduler(kind: SchedulerKind) -> Self {
         Engine {
-            queue: EventQueue::new(),
+            queue: match kind {
+                SchedulerKind::Wheel => Backend::Wheel(Box::default()),
+                SchedulerKind::ReferenceHeap => Backend::Heap(EventQueue::new()),
+            },
             now: SimTime::ZERO,
             events_processed: 0,
             event_budget: u64::MAX,
             queue_high_water: 0,
+        }
+    }
+
+    /// The scheduler backend this engine runs on.
+    pub fn scheduler(&self) -> SchedulerKind {
+        match self.queue {
+            Backend::Wheel(_) => SchedulerKind::Wheel,
+            Backend::Heap(_) => SchedulerKind::ReferenceHeap,
         }
     }
 
@@ -278,6 +359,48 @@ mod tests {
         assert_eq!(e.queue_high_water(), 4);
         let snap = crate::metrics::snapshot();
         assert!(snap.counter("engine.events_dispatched").unwrap_or(0) >= 4);
+    }
+
+    #[test]
+    fn default_engine_runs_on_the_wheel() {
+        let e: Engine<()> = Engine::new();
+        assert_eq!(e.scheduler(), SchedulerKind::Wheel);
+        let r: Engine<()> = Engine::with_scheduler(SchedulerKind::ReferenceHeap);
+        assert_eq!(r.scheduler(), SchedulerKind::ReferenceHeap);
+    }
+
+    #[test]
+    fn wheel_and_heap_backends_produce_identical_traces() {
+        // A self-rescheduling workload with cancellations, same-instant
+        // collisions, and firing times spanning several wheel levels; the
+        // dispatch trace must be identical event-for-event.
+        fn trace(kind: SchedulerKind) -> Vec<(SimTime, u64)> {
+            let mut e: Engine<u64> = Engine::with_scheduler(kind);
+            for i in 0..64u64 {
+                e.schedule_at(SimTime::from_nanos((i % 7) * 1_000_003), i);
+            }
+            let mut cancellable = Vec::new();
+            for i in 0..16u64 {
+                cancellable.push(e.schedule_at(SimTime::from_nanos(500 + i), 1000 + i));
+            }
+            for id in cancellable.iter().step_by(2) {
+                e.cancel(*id);
+            }
+            let mut out = Vec::new();
+            e.run(SimTime::MAX, |eng, now, v| {
+                out.push((now, v));
+                if v < 200 {
+                    // Mix of short and cross-level re-arms.
+                    eng.schedule_in(SimDuration::from_nanos(1 + (v % 5) * 40_000_000), v + 200);
+                }
+                Control::Continue
+            });
+            out
+        }
+        let wheel = trace(SchedulerKind::Wheel);
+        let heap = trace(SchedulerKind::ReferenceHeap);
+        assert_eq!(wheel.len(), heap.len());
+        assert_eq!(wheel, heap);
     }
 
     #[test]

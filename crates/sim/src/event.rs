@@ -13,6 +13,18 @@ use std::collections::BinaryHeap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(u64);
 
+impl EventId {
+    /// Wraps a raw sequence number (shared with the timing-wheel backend).
+    pub(crate) fn from_raw(seq: u64) -> Self {
+        EventId(seq)
+    }
+
+    /// The raw sequence number.
+    pub(crate) fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 #[derive(Debug)]
 struct Entry<E> {
     time: SimTime,
@@ -109,6 +121,8 @@ impl<E> EventQueue<E> {
         if self.live.remove(&id.0) {
             // Lazy removal: the heap entry is skipped when it surfaces.
             self.cancelled.insert(id.0);
+            // Restore the peek invariant in case we just killed the head.
+            self.drop_cancelled_heads();
             true
         } else {
             false
@@ -124,24 +138,37 @@ impl<E> EventQueue<E> {
             }
             debug_assert!(!entry.cancelled);
             self.live.remove(&entry.seq);
+            // A cancelled entry buried below the popped head may now have
+            // surfaced; drop it so peeking stays a shared-borrow O(1) read.
+            self.drop_cancelled_heads();
             return Some((entry.time, entry.payload));
         }
         None
     }
 
     /// The firing time of the earliest live event, if any.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Drop cancelled heads eagerly so peeking is accurate.
+    ///
+    /// Takes `&self`: [`EventQueue::cancel`] and [`EventQueue::pop`]
+    /// maintain the invariant that the heap head is never a cancelled
+    /// entry, so peeking never needs to clean up.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        let entry = self.heap.peek()?;
+        debug_assert!(!self.cancelled.contains(&entry.seq));
+        Some(entry.time)
+    }
+
+    /// Removes cancelled entries sitting at the heap head, upholding the
+    /// invariant that makes [`EventQueue::peek_time`] a shared-borrow read.
+    fn drop_cancelled_heads(&mut self) {
         while let Some(entry) = self.heap.peek() {
             if self.cancelled.contains(&entry.seq) {
                 let seq = entry.seq;
                 self.heap.pop();
                 self.cancelled.remove(&seq);
             } else {
-                return Some(entry.time);
+                break;
             }
         }
-        None
     }
 
     /// Number of live (scheduled, not cancelled, not yet fired) events.
@@ -250,24 +277,26 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+pub(crate) mod proptests {
     use super::*;
     use crate::time::SimTime;
     use proptest::prelude::*;
 
     /// Operations the reference model replays against the queue.
     #[derive(Debug, Clone)]
-    enum Op {
+    pub(crate) enum Op {
         Schedule(u64),
         CancelNth(usize),
         Pop,
+        Peek,
     }
 
-    fn arb_op() -> impl Strategy<Value = Op> {
+    pub(crate) fn arb_op() -> impl Strategy<Value = Op> {
         prop_oneof![
             (0u64..1000).prop_map(Op::Schedule),
             (0usize..64).prop_map(Op::CancelNth),
             Just(Op::Pop),
+            Just(Op::Peek),
         ]
     }
 
@@ -319,8 +348,20 @@ mod proptests {
                             }
                         }
                     }
+                    Op::Peek => {
+                        // Exercised through a shared borrow: peeking must
+                        // not require `&mut` and must not disturb state.
+                        let shared: &EventQueue<u64> = &queue;
+                        let want = model.iter().map(|&(t, s, _)| (t, s)).min().map(|(t, _)| t);
+                        prop_assert_eq!(shared.peek_time(), want.map(SimTime::from_nanos));
+                        prop_assert_eq!(shared.peek_time(), want.map(SimTime::from_nanos));
+                    }
                 }
                 prop_assert_eq!(queue.len(), model.len());
+                // The shared-borrow peek agrees with the model after *every*
+                // operation, whatever interleaving produced the state.
+                let min_time = model.iter().map(|&(t, s, _)| (t, s)).min().map(|(t, _)| t);
+                prop_assert_eq!(queue.peek_time(), min_time.map(SimTime::from_nanos));
             }
             // Drain: remaining pops must come out in (time, seq) order.
             model.sort_unstable();

@@ -145,7 +145,7 @@ impl RandomWaypoint {
             while now <= horizon_s {
                 let target = field.sample_uniform(&mut node_rng);
                 let speed = if v_max > v_min {
-                    node_rng.gen_range(v_min..v_max)
+                    node_rng.gen_range(v_min..=v_max)
                 } else {
                     v_min
                 };
@@ -427,6 +427,20 @@ mod tests {
     }
 
     #[test]
+    fn waypoint_max_speed_is_attained_inclusively() {
+        // With v_min == v_max the special case keeps every leg at exactly
+        // v_max; the sampled path must agree with the closed-interval
+        // contract rather than panic on an empty half-open range.
+        let field = Field::new(300.0, 300.0);
+        let mut rng = SimRng::seed_from_u64(9);
+        let rwp = RandomWaypoint::new(field, 3, 4.0, 4.0, 0.5, SimTime::from_secs(100), &mut rng);
+        assert_eq!(rwp.len(), 3);
+        for node in 0..3 {
+            assert!(field.contains(rwp.position(node, SimTime::from_secs(50))));
+        }
+    }
+
+    #[test]
     fn group_members_stay_near_each_other() {
         let g = make_group(1);
         assert_eq!(g.len(), 32);
@@ -472,6 +486,67 @@ mod tests {
     }
 
     #[test]
+    fn waypoint_speeds_cover_the_closed_interval() {
+        // Documented contract: speeds are uniform on the *closed*
+        // [v_min, v_max]. Reconstruct each leg's speed from the stored
+        // trajectory and pin both bounds (times are nanosecond-quantized,
+        // hence the relative slack).
+        let field = Field::new(1000.0, 1000.0);
+        let mut rng = SimRng::seed_from_u64(2011);
+        let (v_min, v_max) = (2.0, 10.0);
+        let rwp = RandomWaypoint::new(
+            field,
+            200,
+            v_min,
+            v_max,
+            1.0,
+            SimTime::from_secs(500),
+            &mut rng,
+        );
+        let mut top = f64::MIN;
+        let mut legs_seen = 0usize;
+        for node_legs in &rwp.legs {
+            for leg in node_legs {
+                let travel = (leg.arrive - leg.depart).as_secs_f64();
+                if travel <= 1e-9 {
+                    continue; // degenerate hop: waypoint on top of the node
+                }
+                let speed = leg.from.distance(leg.to) / travel;
+                assert!(
+                    speed >= v_min * (1.0 - 1e-6) && speed <= v_max * (1.0 + 1e-6),
+                    "leg speed {speed} outside [{v_min}, {v_max}]"
+                );
+                top = top.max(speed);
+                legs_seen += 1;
+            }
+        }
+        assert!(legs_seen > 1000, "expected many legs, saw {legs_seen}");
+        // Inclusive sampling reaches into the top of the interval; the old
+        // half-open draw left the closed upper end systematically starved.
+        assert!(
+            top > v_min + 0.99 * (v_max - v_min),
+            "max observed speed {top} never approached v_max {v_max}"
+        );
+    }
+
+    #[test]
+    fn waypoint_equal_speed_bounds_move_at_exactly_that_speed() {
+        let field = Field::new(500.0, 500.0);
+        let mut rng = SimRng::seed_from_u64(5);
+        let rwp = RandomWaypoint::new(field, 20, 7.5, 7.5, 0.0, SimTime::from_secs(300), &mut rng);
+        for node_legs in &rwp.legs {
+            for leg in node_legs {
+                let travel = (leg.arrive - leg.depart).as_secs_f64();
+                if travel <= 1e-9 {
+                    continue;
+                }
+                let speed = leg.from.distance(leg.to) / travel;
+                assert!((speed - 7.5).abs() < 7.5 * 1e-6, "speed {speed} != 7.5");
+            }
+        }
+    }
+
+    #[test]
     fn rpgm_is_deterministic() {
         let a = make_group(4);
         let b = make_group(4);
@@ -482,6 +557,116 @@ mod tests {
                     b.position(node, SimTime::from_secs(t))
                 );
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    /// Query instants covering leg interiors, pauses, and times well past
+    /// the precomputed horizon (the models freeze there rather than
+    /// extrapolate out of the field).
+    fn query_times(horizon_secs: u64) -> Vec<SimTime> {
+        let mut times = Vec::new();
+        let mut ms = 0u64;
+        while ms <= horizon_secs * 2_000 {
+            times.push(SimTime::from_nanos(ms * 1_000_000));
+            ms += 3_700; // deliberately incommensurate with whole seconds
+        }
+        times.push(SimTime::from_secs(horizon_secs * 10));
+        times
+    }
+
+    /// Shared invariant check: positions stay in `field` at every query
+    /// time (including past the horizon), and displacement between any two
+    /// consecutive queries is bounded by `v_bound · Δt`.
+    fn check_invariants(
+        model: &impl Mobility,
+        field: Field,
+        v_bound: f64,
+        horizon_secs: u64,
+    ) -> Result<(), TestCaseError> {
+        let times = query_times(horizon_secs);
+        for node in 0..model.len() {
+            let mut prev: Option<(SimTime, Point)> = None;
+            for &t in &times {
+                let p = model.position(node, t);
+                prop_assert!(
+                    field.contains(p),
+                    "node {} at {} left the field: {:?}",
+                    node,
+                    t,
+                    p
+                );
+                if let Some((t0, p0)) = prev {
+                    let dt = (t - t0).as_secs_f64();
+                    let moved = p0.distance(p);
+                    prop_assert!(
+                        moved <= v_bound * dt + 1e-6,
+                        "node {} moved {} m in {} s (bound {} m/s)",
+                        node,
+                        moved,
+                        dt,
+                        v_bound
+                    );
+                }
+                prev = Some((t, p));
+            }
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn static_uniform_invariants(seed in 0u64..10_000, n in 1usize..40) {
+            let field = Field::new(900.0, 700.0);
+            let mut rng = SimRng::seed_from_u64(seed);
+            let m = StaticUniform::new(field, n, &mut rng);
+            // Static nodes: in-field forever with zero velocity.
+            check_invariants(&m, field, 0.0, 60)?;
+        }
+
+        #[test]
+        fn random_waypoint_invariants(
+            seed in 0u64..10_000,
+            n in 1usize..6,
+            v_span in 0.0f64..20.0,
+            pause in 0.0f64..8.0,
+        ) {
+            let field = Field::new(800.0, 600.0);
+            let (v_min, v_max) = (1.0, 1.0 + v_span);
+            let mut rng = SimRng::seed_from_u64(seed);
+            let m = RandomWaypoint::new(
+                field, n, v_min, v_max, pause, SimTime::from_secs(60), &mut rng,
+            );
+            check_invariants(&m, field, v_max, 60)?;
+        }
+
+        #[test]
+        fn reference_point_group_invariants(
+            seed in 0u64..10_000,
+            groups in 1usize..4,
+            group_size in 1usize..5,
+            v_max in 1.0f64..10.0,
+            jitter in 0.0f64..5.0,
+        ) {
+            let field = Field::new(1200.0, 1200.0);
+            let mut rng = SimRng::seed_from_u64(seed);
+            let m = ReferencePointGroup::new(
+                field, groups, group_size, 1.0, v_max, 2.0, 40.0, jitter,
+                SimTime::from_secs(60), &mut rng,
+            );
+            // Members ride their leader (≤ v_max) plus a sinusoidal wobble
+            // whose per-axis rate is at most jitter · freq (freq < 0.3),
+            // √2 across both axes; field clamping only ever shrinks steps.
+            let v_bound = v_max + jitter * 0.3 * std::f64::consts::SQRT_2;
+            check_invariants(&m, field, v_bound, 60)?;
         }
     }
 }

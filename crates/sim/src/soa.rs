@@ -1,0 +1,609 @@
+//! Struct-of-arrays node state and arena-allocated topology for
+//! 100k+-node runs.
+//!
+//! At the paper's 2000-node scale, `Vec<Point>` snapshots and
+//! `Vec<Vec<usize>>` adjacency are fine; at 100×–500× that, the pointer
+//! chasing and per-node allocations dominate. This module provides the
+//! scale-friendly representations:
+//!
+//! * [`NodeStore`] — positions as two parallel `f64` columns (SoA), so
+//!   sweeps over one coordinate stream contiguously;
+//! * [`CsrGraph`] — the physical-neighbor graph in compressed-sparse-row
+//!   form: one offsets column plus one shared edge arena, zero per-node
+//!   allocations, `u32` node ids;
+//! * [`DynamicTopology`] — an incrementally maintained neighbor graph
+//!   over a [`UniformGrid`]: relocating one node costs
+//!   O(degree + cell occupancy) instead of the O(n·g) full rebuild that
+//!   `physical_graph` performs, so a mobility refresh is O(moved), not
+//!   O(n).
+
+use crate::geom::{Field, Point};
+use crate::grid::UniformGrid;
+use crate::rng::SimRng;
+use crate::topology::Graph;
+
+/// Node positions stored as parallel coordinate columns.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_sim::geom::{Field, Point};
+/// use jrsnd_sim::soa::NodeStore;
+///
+/// let store = NodeStore::from_points(&[Point::new(1.0, 2.0), Point::new(3.0, 4.0)]);
+/// assert_eq!(store.len(), 2);
+/// assert_eq!(store.position(1), Point::new(3.0, 4.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeStore {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl NodeStore {
+    /// An empty store with room for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        NodeStore {
+            xs: Vec::with_capacity(n),
+            ys: Vec::with_capacity(n),
+        }
+    }
+
+    /// Columnizes a point slice.
+    pub fn from_points(points: &[Point]) -> Self {
+        NodeStore {
+            xs: points.iter().map(|p| p.x).collect(),
+            ys: points.iter().map(|p| p.y).collect(),
+        }
+    }
+
+    /// Samples `n` i.i.d. uniform positions, drawing the exact same
+    /// stream as [`Field::sample_uniform_n`] — the two representations
+    /// are interchangeable under one seed.
+    pub fn sample_uniform(field: Field, n: usize, rng: &mut SimRng) -> Self {
+        let mut store = NodeStore::with_capacity(n);
+        for _ in 0..n {
+            store.push(field.sample_uniform(rng));
+        }
+        store
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Appends a node, returning its index.
+    pub fn push(&mut self, p: Point) -> usize {
+        self.xs.push(p.x);
+        self.ys.push(p.y);
+        self.xs.len() - 1
+    }
+
+    /// Position of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn position(&self, i: usize) -> Point {
+        Point::new(self.xs[i], self.ys[i])
+    }
+
+    /// Overwrites node `i`'s position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_position(&mut self, i: usize, p: Point) {
+        self.xs[i] = p.x;
+        self.ys[i] = p.y;
+    }
+
+    /// The x-coordinate column.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The y-coordinate column.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Iterates positions in node order.
+    pub fn iter(&self) -> impl Iterator<Item = Point> + '_ {
+        self.xs
+            .iter()
+            .zip(&self.ys)
+            .map(|(&x, &y)| Point::new(x, y))
+    }
+
+    /// Materializes the positions as a point vector (compatibility with
+    /// the AoS API).
+    pub fn to_points(&self) -> Vec<Point> {
+        self.iter().collect()
+    }
+}
+
+/// The physical-neighbor graph in compressed-sparse-row form.
+///
+/// Equivalent to [`crate::topology::physical_graph`] but with the whole
+/// adjacency in one arena: `offsets[u]..offsets[u + 1]` indexes `u`'s
+/// sorted neighbor slice inside a single `targets` buffer. Node ids are
+/// `u32`, halving the adjacency footprint at 100k+ nodes.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_sim::geom::{Field, Point};
+/// use jrsnd_sim::soa::{CsrGraph, NodeStore};
+///
+/// let store = NodeStore::from_points(&[
+///     Point::new(0.0, 0.0),
+///     Point::new(5.0, 0.0),
+///     Point::new(50.0, 50.0),
+/// ]);
+/// let g = CsrGraph::build(Field::new(100.0, 100.0), &store, 10.0);
+/// assert_eq!(g.neighbors(0), &[1]);
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Builds the CSR physical graph of a snapshot: an edge for every
+    /// pair within `range` metres. One grid query pass collects the
+    /// half-edges, a counting pass lays out the arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is non-positive or the store holds more than
+    /// `u32::MAX` nodes.
+    pub fn build(field: Field, store: &NodeStore, range: f64) -> Self {
+        assert!(range > 0.0, "transmission range must be positive");
+        let n = store.len();
+        assert!(u32::try_from(n).is_ok(), "CsrGraph is limited to u32 ids");
+        let mut grid = UniformGrid::new(field, range);
+        for (i, p) in store.iter().enumerate() {
+            grid.insert(i, p);
+        }
+        // Half-edge pass: (u, v) with u < v, in grid iteration order.
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        let mut degree = vec![0u32; n];
+        for u in 0..n {
+            let p = store.position(u);
+            for (v, _) in grid.within_points(p, range) {
+                if v > u {
+                    pairs.push((u as u32, v as u32));
+                    degree[u] += 1;
+                    degree[v] += 1;
+                }
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        // Fill both directions via per-node cursors, then sort each row.
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![0u32; acc as usize];
+        for &(u, v) in &pairs {
+            targets[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        for u in 0..n {
+            let (a, b) = (offsets[u] as usize, offsets[u + 1] as usize);
+            targets[a..b].sort_unstable();
+        }
+        CsrGraph { offsets, targets }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the graph has zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The sorted neighbor slice of `u`.
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.targets[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        (self.offsets[u + 1] - self.offsets[u]) as usize
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Mean degree over all nodes.
+    pub fn mean_degree(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.targets.len() as f64 / self.len() as f64
+    }
+
+    /// Whether the undirected edge `(u, v)` is present.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u < self.len() && self.neighbors(u).binary_search(&(v as u32)).is_ok()
+    }
+
+    /// Iterates all undirected edges `(u, v)` with `u < v`, ascending in
+    /// `u` and then `v` — the canonical pair order the sharded
+    /// Monte-Carlo pipeline folds in.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.len() as u32).flat_map(move |u| {
+            self.neighbors(u as usize)
+                .iter()
+                .copied()
+                .filter(move |&v| v > u)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Converts to the adjacency-list [`Graph`] (for equivalence tests
+    /// and small-scale callers).
+    pub fn to_graph(&self) -> Graph {
+        Graph::from_edges(
+            self.len(),
+            self.edges().map(|(u, v)| (u as usize, v as usize)),
+        )
+    }
+}
+
+/// An incrementally maintained physical-neighbor graph.
+///
+/// Holds an SoA position store, a [`UniformGrid`] index, and sorted
+/// adjacency lists, all updated in place when nodes move. A call to
+/// [`DynamicTopology::advance`] with a fresh position snapshot costs
+/// O(moved · (degree + cell occupancy)) — the stationary majority of a
+/// mobility step is never touched, unlike a `physical_graph` rebuild.
+///
+/// # Examples
+///
+/// ```
+/// use jrsnd_sim::geom::{Field, Point};
+/// use jrsnd_sim::soa::DynamicTopology;
+///
+/// let field = Field::new(100.0, 100.0);
+/// let pts = [Point::new(0.0, 0.0), Point::new(5.0, 0.0), Point::new(90.0, 90.0)];
+/// let mut topo = DynamicTopology::new(field, &pts, 10.0);
+/// assert!(topo.has_edge(0, 1));
+/// topo.relocate(2, Point::new(12.0, 0.0));
+/// assert!(topo.has_edge(1, 2));
+/// assert_eq!(topo.edge_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicTopology {
+    range: f64,
+    store: NodeStore,
+    grid: UniformGrid,
+    adj: Vec<Vec<usize>>,
+    edges: usize,
+}
+
+impl DynamicTopology {
+    /// Builds the topology of an initial snapshot (full O(n·g) pass —
+    /// every later refresh is incremental).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is non-positive.
+    pub fn new(field: Field, positions: &[Point], range: f64) -> Self {
+        assert!(range > 0.0, "transmission range must be positive");
+        let store = NodeStore::from_points(positions);
+        let grid = UniformGrid::from_points(field, range, positions);
+        let mut adj = vec![Vec::new(); positions.len()];
+        let mut edges = 0;
+        for (u, &p) in positions.iter().enumerate() {
+            for (v, _) in grid.within_points(p, range) {
+                if v > u {
+                    adj[u].push(v);
+                    adj[v].push(u);
+                    edges += 1;
+                }
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        DynamicTopology {
+            range,
+            store,
+            grid,
+            adj,
+            edges,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the topology tracks zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Current position of `node`.
+    pub fn position(&self, node: usize) -> Point {
+        self.store.position(node)
+    }
+
+    /// The sorted neighbor list of `node`.
+    pub fn neighbors(&self, node: usize) -> &[usize] {
+        &self.adj[node]
+    }
+
+    /// Whether `(u, v)` are within range of each other.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u < self.len() && self.adj[u].binary_search(&v).is_ok()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Mean degree (the paper's `g`).
+    pub fn mean_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.edges as f64 / self.adj.len() as f64
+    }
+
+    /// Iterates all undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+    }
+
+    /// Moves one node, updating only the edges incident to it. Cost is
+    /// O(old degree + new degree + cell occupancy); the rest of the
+    /// graph is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn relocate(&mut self, node: usize, to: Point) {
+        let from = self.store.position(node);
+        // Detach from every current neighbor.
+        let old = std::mem::take(&mut self.adj[node]);
+        for &v in &old {
+            let i = self.adj[v].binary_search(&node).expect("symmetric edge");
+            self.adj[v].remove(i);
+        }
+        self.edges -= old.len();
+        // Re-bucket and reattach at the new position.
+        assert!(self.grid.relocate(node, from, to), "node missing from grid");
+        self.store.set_position(node, to);
+        let mut fresh: Vec<usize> = self
+            .grid
+            .within_points(to, self.range)
+            .map(|(v, _)| v)
+            .filter(|&v| v != node)
+            .collect();
+        fresh.sort_unstable();
+        for &v in &fresh {
+            let i = self.adj[v].binary_search(&node).unwrap_err();
+            self.adj[v].insert(i, node);
+        }
+        self.edges += fresh.len();
+        self.adj[node] = fresh;
+    }
+
+    /// Applies a fresh position snapshot, relocating only the nodes that
+    /// actually moved. Returns how many moved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot length differs from the node count.
+    pub fn advance(&mut self, positions: &[Point]) -> usize {
+        assert_eq!(positions.len(), self.len(), "snapshot size mismatch");
+        let mut moved = 0;
+        for (i, &p) in positions.iter().enumerate() {
+            if self.store.position(i) != p {
+                self.relocate(i, p);
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// Materializes the current topology as a [`Graph`] (for equivalence
+    /// tests and callers of the AoS API).
+    pub fn to_graph(&self) -> Graph {
+        Graph::from_edges(self.len(), self.edges())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::{Mobility, RandomWaypoint};
+    use crate::time::SimTime;
+    use crate::topology::physical_graph;
+    use rand::SeedableRng;
+
+    #[test]
+    fn node_store_roundtrips_points() {
+        let pts = vec![Point::new(1.5, 2.5), Point::new(3.0, 4.0)];
+        let mut store = NodeStore::from_points(&pts);
+        assert_eq!(store.to_points(), pts);
+        store.set_position(0, Point::new(9.0, 9.0));
+        assert_eq!(store.position(0), Point::new(9.0, 9.0));
+        assert_eq!(store.xs(), &[9.0, 3.0]);
+        assert_eq!(store.ys(), &[9.0, 4.0]);
+    }
+
+    #[test]
+    fn soa_sampling_matches_aos_sampling() {
+        let field = Field::new(1000.0, 800.0);
+        let mut a = SimRng::seed_from_u64(9);
+        let mut b = SimRng::seed_from_u64(9);
+        let store = NodeStore::sample_uniform(field, 64, &mut a);
+        let points = field.sample_uniform_n(64, &mut b);
+        assert_eq!(store.to_points(), points);
+    }
+
+    #[test]
+    fn csr_matches_physical_graph() {
+        let field = Field::new(1200.0, 900.0);
+        let mut rng = SimRng::seed_from_u64(31);
+        let points = field.sample_uniform_n(400, &mut rng);
+        let range = 100.0;
+        let reference = physical_graph(field, &points, range);
+        let csr = CsrGraph::build(field, &NodeStore::from_points(&points), range);
+        assert_eq!(csr.len(), reference.len());
+        assert_eq!(csr.edge_count(), reference.edge_count());
+        assert_eq!(csr.mean_degree(), reference.mean_degree());
+        for u in 0..points.len() {
+            let want: Vec<u32> = reference.neighbors(u).iter().map(|&v| v as u32).collect();
+            assert_eq!(csr.neighbors(u), want.as_slice(), "node {u}");
+        }
+        assert_eq!(csr.to_graph(), reference);
+    }
+
+    #[test]
+    fn csr_edges_are_canonically_ordered() {
+        let field = Field::new(500.0, 500.0);
+        let mut rng = SimRng::seed_from_u64(7);
+        let store = NodeStore::sample_uniform(field, 120, &mut rng);
+        let csr = CsrGraph::build(field, &store, 80.0);
+        let edges: Vec<(u32, u32)> = csr.edges().collect();
+        let mut sorted = edges.clone();
+        sorted.sort_unstable();
+        assert_eq!(edges, sorted, "edges() must ascend in (u, v)");
+        assert!(edges.iter().all(|&(u, v)| u < v));
+        assert_eq!(edges.len(), csr.edge_count());
+        for &(u, v) in edges.iter().take(50) {
+            assert!(csr.has_edge(u as usize, v as usize));
+            assert!(csr.has_edge(v as usize, u as usize));
+        }
+        assert!(!csr.has_edge(0, 0));
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let field = Field::new(10.0, 10.0);
+        let empty = CsrGraph::build(field, &NodeStore::default(), 1.0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.mean_degree(), 0.0);
+        let one = CsrGraph::build(field, &NodeStore::from_points(&[Point::new(5.0, 5.0)]), 1.0);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.edge_count(), 0);
+        assert_eq!(one.neighbors(0), &[] as &[u32]);
+    }
+
+    #[test]
+    fn relocate_updates_exactly_the_incident_edges() {
+        let field = Field::new(100.0, 100.0);
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(9.0, 0.0),
+            Point::new(90.0, 90.0),
+        ];
+        let mut topo = DynamicTopology::new(field, &pts, 6.0);
+        assert!(topo.has_edge(0, 1) && topo.has_edge(1, 2) && !topo.has_edge(0, 2));
+        assert_eq!(topo.edge_count(), 2);
+        topo.relocate(1, Point::new(90.0, 85.0));
+        assert!(!topo.has_edge(0, 1) && !topo.has_edge(1, 2));
+        assert!(topo.has_edge(1, 3));
+        assert_eq!(topo.edge_count(), 1);
+        assert_eq!(topo.position(1), Point::new(90.0, 85.0));
+    }
+
+    #[test]
+    fn incremental_refresh_equals_full_rebuild_under_mobility() {
+        let field = Field::new(800.0, 800.0);
+        let mut rng = SimRng::seed_from_u64(2011);
+        let horizon = SimTime::from_secs(120);
+        let model = RandomWaypoint::new(field, 200, 2.0, 12.0, 1.0, horizon, &mut rng);
+        let range = 90.0;
+        let t0 = model.snapshot(SimTime::ZERO);
+        let mut topo = DynamicTopology::new(field, &t0, range);
+        let mut total_moved = 0;
+        for step in 1..=12 {
+            let t = SimTime::from_secs(step * 10);
+            let snap = model.snapshot(t);
+            total_moved += topo.advance(&snap);
+            let rebuilt = physical_graph(field, &snap, range);
+            assert_eq!(topo.to_graph(), rebuilt, "diverged at t = {t:?}");
+            assert_eq!(topo.edge_count(), rebuilt.edge_count());
+            assert_eq!(topo.mean_degree(), rebuilt.mean_degree());
+        }
+        assert!(total_moved > 0, "waypoint nodes should move");
+    }
+
+    #[test]
+    fn advance_skips_stationary_nodes() {
+        let field = Field::new(100.0, 100.0);
+        let pts = vec![Point::new(10.0, 10.0), Point::new(20.0, 10.0)];
+        let mut topo = DynamicTopology::new(field, &pts, 15.0);
+        assert_eq!(topo.advance(&pts), 0, "identical snapshot moves nothing");
+        let mut shifted = pts.clone();
+        shifted[1] = Point::new(20.5, 10.0);
+        assert_eq!(topo.advance(&shifted), 1);
+        assert!(topo.has_edge(0, 1));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::topology::physical_graph;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Arbitrary relocation interleavings keep the incremental
+        /// topology identical to a from-scratch rebuild.
+        #[test]
+        fn incremental_matches_rebuild(
+            seed in 0u64..500,
+            n in 2usize..60,
+            moves in proptest::collection::vec((0usize..60, 0u16..400, 0u16..400), 1..40),
+            range in 20.0f64..150.0,
+        ) {
+            use rand::SeedableRng;
+            let field = Field::new(400.0, 400.0);
+            let mut rng = SimRng::seed_from_u64(seed);
+            let mut points = field.sample_uniform_n(n, &mut rng);
+            let mut topo = DynamicTopology::new(field, &points, range);
+            for (k, x, y) in moves {
+                let node = k % n;
+                let to = Point::new(f64::from(x), f64::from(y));
+                points[node] = to;
+                topo.relocate(node, to);
+                prop_assert_eq!(topo.position(node), to);
+            }
+            let rebuilt = physical_graph(field, &points, range);
+            prop_assert_eq!(topo.to_graph(), rebuilt);
+        }
+    }
+}

@@ -208,6 +208,35 @@ impl SampleRange<f32> for Range<f32> {
     }
 }
 
+impl SampleRange<f64> for RangeInclusive<f64> {
+    #[inline]
+    fn sample_from(self, rng: &mut (impl RngCore + ?Sized)) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        let v = start + (end - start) * unit_f64(rng);
+        // Guard against rounding past the included endpoint.
+        if v > end {
+            end
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f32> for RangeInclusive<f32> {
+    #[inline]
+    fn sample_from(self, rng: &mut (impl RngCore + ?Sized)) -> f32 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        let v = start + (end - start) * unit_f64(rng) as f32;
+        if v > end {
+            end
+        } else {
+            v
+        }
+    }
+}
+
 /// Convenience extension methods over any [`RngCore`].
 pub trait Rng: RngCore {
     /// A uniformly random value of type `T`.
@@ -438,6 +467,22 @@ mod tests {
         assert!(v.choose(&mut r).is_some());
         let empty: [u32; 0] = [];
         assert!(empty.choose(&mut r).is_none());
+    }
+
+    #[test]
+    fn inclusive_float_range_covers_closed_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(2.0f64..=5.0);
+            assert!((2.0..=5.0).contains(&v));
+        }
+        // A degenerate closed range is valid and returns its only point.
+        assert_eq!(r.gen_range(3.0f64..=3.0), 3.0);
+        assert_eq!(r.gen_range(1.5f32..=1.5), 1.5);
+        for _ in 0..1000 {
+            let v = r.gen_range(-1.0f32..=1.0);
+            assert!((-1.0..=1.0).contains(&v));
+        }
     }
 
     #[test]
