@@ -7,12 +7,16 @@
 //! EXPERIMENT: table1 fig2a fig2b fig3a fig3b fig4a fig4b fig5a fig5b
 //!             theory dos baselines ablation-redundancy ablation-gamma
 //!             ablation-predist multiantenna jammers timeline chiplevel chaos
-//!             scale all (default: all)
+//!             scale sessions all (default: all)
 //!
 //! `scale` is the 200k-node (20k with --quick) fig-5(a) sweep on the
 //! sharded discrete-event pipeline. It is deliberately NOT part of
 //! `all`: a full-scale point takes ~10 s × 6 ν values × reps, so run it
 //! explicitly with a small --reps.
+//!
+//! `sessions` is the batch-session-engine throughput sweep — 1 k → 1 M
+//! concurrent chip-level handshakes (1 k → 4 k with --quick). Also NOT
+//! part of `all`: the 1 M point is a deliberate stress run.
 //! --reps N       Monte-Carlo repetitions per point (default 20; paper: 100)
 //! --seed S       base RNG seed (default 2011)
 //! --quick        shrink the network for a fast smoke run
@@ -23,8 +27,8 @@
 
 use jrsnd_bench::{
     ablation_gamma, ablation_predist, ablation_redundancy, baselines, chaos, chiplevel, dos, fig2a,
-    fig2b, fig3a, fig3b, fig4, fig5a, fig5b, jammers, multiantenna, scale_experiment, table1,
-    theory, timeline_experiment, FigureOutput, Scale,
+    fig2b, fig3a, fig3b, fig4, fig5a, fig5b, jammers, multiantenna, scale_experiment,
+    sessions_experiment, table1, theory, timeline_experiment, FigureOutput, Scale,
 };
 use std::io::Write;
 
@@ -119,9 +123,9 @@ usage: repro [EXPERIMENT]... [--reps N] [--seed S] [--quick] [--csv DIR]
              [--metrics PATH]
 experiments: table1 fig2a fig2b fig3a fig3b fig4a fig4b fig5a fig5b theory dos
              baselines ablation-redundancy ablation-gamma ablation-predist
-             multiantenna jammers timeline chiplevel chaos scale all
-             (scale = 200k-node sharded sweep; not part of `all` — run it
-             explicitly with a small --reps)";
+             multiantenna jammers timeline chiplevel chaos scale sessions all
+             (scale = 200k-node sharded sweep, sessions = 1k-1M batch-engine
+             handshake sweep; neither is part of `all` — run them explicitly)";
 
 fn run_one(name: &str, opts: &Options) -> Result<FigureOutput, String> {
     let (reps, seed, scale) = (opts.reps, opts.seed, opts.scale);
@@ -147,6 +151,7 @@ fn run_one(name: &str, opts: &Options) -> Result<FigureOutput, String> {
         "chiplevel" => chiplevel(seed),
         "chaos" => chaos(reps, seed, scale),
         "scale" => scale_experiment(reps, seed, scale),
+        "sessions" => sessions_experiment(seed, scale),
         other => return Err(format!("unknown experiment `{other}` (see --help)")),
     })
 }

@@ -645,6 +645,257 @@ pub fn scale_experiment(reps: usize, seed: u64, scale: Scale) -> FigureOutput {
     }
 }
 
+/// Deterministic mixed workload for the batch session engine: `count`
+/// [`jrsnd::SessionSpec`]s over a `pool`-code authority pool, with the mix
+/// derived from the session index so the same call always produces the
+/// same specs (and the `engine` bench and `sessions` experiment time
+/// identical work):
+///
+/// * most sessions are clean direct handshakes (2-code banks, shared code
+///   at index 0 — the fast scan path);
+/// * every 64th shares at bank index 1 (the scan walks past a miss);
+/// * every 8th fights a 20 % same-code tail jam on the CONFIRM;
+/// * every 16th is fully jammed on its shared code from the HELLO and
+///   burns its whole retry budget;
+/// * every 32nd is a clean two-leg M-NDP relay session.
+pub fn session_workload(pool: usize, count: usize, seed: u64) -> Vec<jrsnd::SessionSpec> {
+    use jrsnd::{JamSpec, SessionKind, SessionSpec};
+    assert!(pool >= 2, "workload draws distinct filler codes");
+    // Shared code at `idx`, filler at the other slot of a 2-code bank.
+    let mk = |shared: usize, other: usize, idx: usize| -> (Vec<usize>, usize) {
+        if idx == 0 {
+            (vec![shared, other], 0)
+        } else {
+            (vec![other, shared], 1)
+        }
+    };
+    (0..count)
+        .map(|i| {
+            let s1 = (i * 7 + 1) % pool;
+            let s2 = (i * 17 + 7) % pool;
+            let x = (i * 11 + 3) % pool;
+            let y = (i * 13 + 5) % pool;
+            let idx = usize::from(i % 64 == 9);
+            let (a_codes, shared_a) = mk(s1, x, idx);
+            let jammer = if i % 16 == 7 {
+                Some(JamSpec {
+                    code: s1,
+                    fraction: 1.0,
+                    amplitude: 3,
+                    first_message: 0,
+                })
+            } else if i % 8 == 3 {
+                Some(JamSpec {
+                    code: s1,
+                    fraction: 0.20,
+                    amplitude: 2,
+                    first_message: 1,
+                })
+            } else {
+                None
+            };
+            let (b_codes, shared_b, kind) = if i % 32 == 12 {
+                let (relay_a_codes, relay_shared_a) = mk(s1, (i * 19 + 11) % pool, 0);
+                let (relay_b_codes, relay_shared_b) = mk(s2, (i * 23 + 13) % pool, 0);
+                let (b_codes, shared_b) = mk(s2, y, idx);
+                (
+                    b_codes,
+                    shared_b,
+                    SessionKind::MultiHop {
+                        relay_a_codes,
+                        relay_b_codes,
+                        relay_shared_a,
+                        relay_shared_b,
+                    },
+                )
+            } else {
+                let (b_codes, shared_b) = mk(s1, y, idx);
+                (b_codes, shared_b, SessionKind::Direct)
+            };
+            SessionSpec {
+                a_codes,
+                b_codes,
+                shared_a,
+                shared_b,
+                jammer,
+                seed: seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                kind,
+            }
+        })
+        .collect()
+}
+
+/// Appends `{id, ns_per_iter}` records to the JSON array at `path`,
+/// creating it if absent. The `engine` bench (criterion shim, overwrites)
+/// runs first in CI; the `sessions` experiment merges its throughput
+/// records into the same `BENCH_engine_ci.json` afterwards.
+fn append_bench_records(path: &str, records: &[String]) {
+    let body = records.join(",\n  ");
+    let text = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let head = existing
+                .trim_end()
+                .trim_end_matches(']')
+                .trim_end()
+                .to_string();
+            if head.ends_with('[') {
+                format!("{head}\n  {body}\n]\n")
+            } else if head.is_empty() {
+                format!("[\n  {body}\n]\n")
+            } else {
+                format!("{},\n  {body}\n]\n", head.trim_end_matches(','))
+            }
+        }
+        Err(_) => format!("[\n  {body}\n]\n"),
+    };
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
+
+/// `sessions`: the batch-session-engine headline — sweep the number of
+/// concurrent chip-level D-NDP/M-NDP sessions from 1 k to 1 M
+/// (Quick: 1 k → 4 k) through [`jrsnd::BatchEngine`] and report handshake
+/// and discovery throughput. The smallest point is also run through the
+/// sequential [`jrsnd::engine::reference`] driver and the outcomes
+/// asserted byte-identical, so the speedup column is a like-for-like
+/// comparison of the shared-pass batch pipeline against the per-session
+/// loop it replaces.
+///
+/// Deliberately NOT part of `all`: the 1 M-session point alone advances a
+/// few hundred thousand retries' worth of chip-level scans.
+///
+/// When `BENCH_JSON` names a file, per-point
+/// `engine/sessions_<n>/ns_per_handshake` and `.../ns_per_discovery`
+/// records are **appended** to it (the `engine` kernel bench writes the
+/// same file first), feeding the `bench_check` gate.
+pub fn sessions_experiment(seed: u64, scale: Scale) -> FigureOutput {
+    use jrsnd::engine::reference;
+    use jrsnd::{BatchEngine, EngineConfig};
+    use jrsnd_crypto::ibc::Authority;
+    use jrsnd_dsss::code::SpreadCode;
+    use jrsnd_sim::retry::RetryPolicy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    // Same chip-level calibration as the `chiplevel` experiment: shorter
+    // codes, tau rescaled to hold the false-sync rate.
+    let mut params = Params::table1();
+    params.n_chips = 256;
+    params.tau = 0.30;
+    let authority = Authority::from_seed(b"bench-sessions");
+    let mut rng = StdRng::seed_from_u64(seed);
+    const POOL: usize = 48;
+    let pool: Vec<SpreadCode> = (0..POOL)
+        .map(|_| SpreadCode::random(params.n_chips, &mut rng))
+        .collect();
+    let counts: Vec<usize> = match scale {
+        Scale::Full => vec![1_000, 10_000, 100_000, 1_000_000],
+        Scale::Quick => vec![1_000, 4_000],
+    };
+    let retry = RetryPolicy::budgeted(1);
+    let config = EngineConfig {
+        chunk: 64,
+        shards: 64,
+        retry,
+        threads: None,
+    };
+    let engine = BatchEngine::new(&params, &authority, &pool, config);
+
+    let mut t = TextTable::new(vec![
+        "sessions".into(),
+        "wall s".into(),
+        "handshakes/s".into(),
+        "discoveries/s".into(),
+        "P(discovered)".into(),
+        "degraded".into(),
+        "vs sequential".into(),
+    ]);
+    let mut s_h = Series::new("handshakes/s");
+    let mut s_d = Series::new("discoveries/s");
+    let mut records: Vec<String> = Vec::new();
+    let mut speedup_note = String::new();
+    for (pi, &count) in counts.iter().enumerate() {
+        let specs = session_workload(POOL, count, seed ^ 0x5E55);
+        let started = std::time::Instant::now();
+        let outcomes = engine.run(&specs);
+        let wall = started.elapsed().as_secs_f64().max(1e-12);
+        let attempts: u64 = outcomes.iter().map(|o| u64::from(o.attempts)).sum();
+        let discovered = outcomes.iter().filter(|o| o.report.discovered).count();
+        let degraded = outcomes.iter().filter(|o| o.degraded).count();
+        let hps = attempts as f64 / wall;
+        let dps = discovered as f64 / wall;
+        // Ground the engine against the sequential driver at the smallest
+        // point: byte-identical outcomes, honest speedup.
+        let speedup = if pi == 0 {
+            let started = std::time::Instant::now();
+            let want = reference::run_sessions(&params, &authority, &pool, &retry, &specs);
+            let seq_wall = started.elapsed().as_secs_f64().max(1e-12);
+            assert_eq!(
+                outcomes, want,
+                "engine outcomes diverged from the sequential reference"
+            );
+            let speedup = seq_wall / wall;
+            speedup_note = format!(
+                "engine vs sequential driver at {count} sessions: {speedup:.1}x \
+                 (outcomes byte-identical)"
+            );
+            format!("{speedup:.1}x")
+        } else {
+            "—".into()
+        };
+        t.row(vec![
+            count.to_string(),
+            format!("{wall:.2}"),
+            format!("{hps:.0}"),
+            format!("{dps:.0}"),
+            format!("{:.4}", discovered as f64 / count.max(1) as f64),
+            degraded.to_string(),
+            speedup,
+        ]);
+        s_h.push_exact(count as f64, hps);
+        s_d.push_exact(count as f64, dps);
+        records.push(format!(
+            "{{\"id\": \"engine/sessions_{count}/ns_per_handshake\", \"ns_per_iter\": {:.1}}}",
+            wall * 1e9 / attempts.max(1) as f64
+        ));
+        records.push(format!(
+            "{{\"id\": \"engine/sessions_{count}/ns_per_discovery\", \"ns_per_iter\": {:.1}}}",
+            wall * 1e9 / discovered.max(1) as f64
+        ));
+    }
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        append_bench_records(&path, &records);
+    }
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    FigureOutput {
+        id: "Sessions".into(),
+        caption: format!(
+            "batch session engine: concurrent chip-level handshakes, {} shards, ≤{threads} workers",
+            engine.config().shards
+        ),
+        table: t,
+        notes: vec![
+            "mix: clean direct + 1/8 tail-jammed + 1/16 fully jammed (retry budget 1) + 1/32 M-NDP"
+                .into(),
+            "one render + one prefix-sum pass per 64-session chunk (m receivers, one pass)".into(),
+            if speedup_note.is_empty() {
+                "sequential cross-check skipped (no points)".into()
+            } else {
+                speedup_note
+            },
+            "byte-identical across JRSND_THREADS (static seed-sharding; see engine proptests)"
+                .into(),
+        ],
+        series: vec![s_h, s_d],
+        chart: Some(svg::ChartSpec::metric(
+            "Engine: throughput vs concurrent sessions",
+            "sessions",
+            "per second",
+        )),
+    }
+}
+
 /// Theory-vs-simulation bracketing: Theorem 1 bounds around the measured
 /// `P̂_D` for both jammer types across q.
 pub fn theory(reps: usize, seed: u64, scale: Scale) -> FigureOutput {

@@ -16,9 +16,9 @@ use jrsnd_crypto::ibc::{Authority, NodeId};
 use jrsnd_crypto::session::SessionCodeCache;
 use jrsnd_dsss::channel::ChipChannel;
 use jrsnd_dsss::code::{CodeId, SpreadCode};
-use jrsnd_dsss::correlate::MultiCorrelator;
+use jrsnd_dsss::correlate::{BankScanner, MultiCorrelator};
 use jrsnd_dsss::spread::{despread_from_channel, spread};
-use jrsnd_dsss::sync::{decode_frame, scan_from};
+use jrsnd_dsss::sync::{decode_frame_into, scan_from_with, Frame, ScanScratch};
 use jrsnd_sim::faults::FaultInjector;
 use jrsnd_sim::retry::RetryPolicy;
 use jrsnd_sim::rng::SimRng;
@@ -92,14 +92,14 @@ pub enum Stage {
 /// chip offsets, and [`LinkMedium::advance`] retires transmissions that
 /// ended before the new watermark so the channel's transmission list
 /// stays bounded no matter how long the session runs.
-struct LinkMedium {
-    channel: ChipChannel,
+pub(crate) struct LinkMedium {
+    pub(crate) channel: ChipChannel,
     /// Next free absolute chip index.
-    cursor: u64,
+    pub(crate) cursor: u64,
 }
 
 impl LinkMedium {
-    fn new(seed: u64, faults: Option<&FaultInjector>) -> Self {
+    pub(crate) fn new(seed: u64, faults: Option<&FaultInjector>) -> Self {
         let channel = match faults {
             // The channel's fault stream is keyed by the link seed, so
             // two links under the same injector draw independent faults.
@@ -111,10 +111,18 @@ impl LinkMedium {
 
     /// Moves the cursor past a just-finished message window and retires
     /// everything that can no longer be heard.
-    fn advance(&mut self, msg_chips: u64) {
+    pub(crate) fn advance(&mut self, msg_chips: u64) {
         self.cursor += msg_chips;
         let retired = self.channel.retire_before(self.cursor);
         metric_counter!("chiplink.transmissions_retired").add(retired as u64);
+    }
+
+    /// Moves the cursor without retiring anything — used by the batch
+    /// engine while several sessions' HELLO windows accumulate on one
+    /// shared medium ahead of a chunk-wide render; the caller retires the
+    /// whole span afterwards via [`LinkMedium::advance`].
+    pub(crate) fn bump(&mut self, msg_chips: u64) {
+        self.cursor += msg_chips;
     }
 }
 
@@ -133,6 +141,7 @@ fn exchange_on(
     tau: f64,
     chip_rate: f64,
     rng: &mut SimRng,
+    garbage: &mut Vec<bool>,
 ) -> (Vec<bool>, Vec<bool>) {
     let n = code.len();
     channel.transmit(start, spread(coded, code), 1);
@@ -142,11 +151,12 @@ fn exchange_on(
         let jam_bits_count = ((coded.len() as f64) * j.fraction).round() as usize;
         if jam_bits_count > 0 {
             let start_bit = coded.len() - jam_bits_count;
-            let garbage: Vec<bool> = (0..jam_bits_count).map(|_| rng.gen()).collect();
+            garbage.clear();
+            garbage.extend((0..jam_bits_count).map(|_| rng.gen::<bool>()));
             record_jam(start_bit, jam_bits_count, n, chip_rate);
             channel.transmit(
                 start + (start_bit * n) as u64,
-                spread(&garbage, &j.code),
+                spread(garbage, &j.code),
                 j.amplitude,
             );
         }
@@ -164,13 +174,15 @@ fn exchange_on(
 /// cursor — with `jammer` (if any) covering the tail of the transmission,
 /// then receives it back through ECC decoding.
 ///
-/// `coded_buf` is a caller-owned staging buffer for the coded bits, reused
-/// across the handshake's messages; the ECC itself runs through `codec`'s
-/// shared scratch, so the per-message ECC work is allocation-free.
+/// `coded_buf` is a caller-owned staging buffer for the coded bits, and
+/// `garbage` stages any jam bits, both reused across the handshake's
+/// messages; the ECC itself runs through `codec`'s shared scratch, so the
+/// per-message ECC work is allocation-free.
 ///
-/// Returns the decoded bits, or `None` if the ECC gave up.
+/// Writes the decoded bits into `decoded` and returns whether the ECC
+/// recovered the frame (`decoded` holds garbage on `false`).
 #[allow(clippy::too_many_arguments)]
-fn transmit_and_receive(
+pub(crate) fn transmit_and_receive(
     message_bits: &[bool],
     code: &SpreadCode,
     codec: &mut FrameCodec,
@@ -182,7 +194,9 @@ fn transmit_and_receive(
     noise_seed: u64,
     medium: Option<&mut LinkMedium>,
     rng: &mut SimRng,
-) -> Option<Vec<bool>> {
+    garbage: &mut Vec<bool>,
+    decoded: &mut Vec<bool>,
+) -> bool {
     codec
         .encode_into(message_bits, coded_buf)
         .expect("non-empty message");
@@ -200,6 +214,7 @@ fn transmit_and_receive(
                 tau,
                 chip_rate,
                 rng,
+                garbage,
             );
             m.advance((coded_buf.len() * n) as u64);
             result
@@ -216,20 +231,130 @@ fn transmit_and_receive(
                 tau,
                 chip_rate,
                 rng,
+                garbage,
             )
         }
     };
-    let mut decoded = Vec::new();
     let ok = codec
-        .decode_into(&bits, &erased, message_bits.len(), &mut decoded)
+        .decode_into(&bits, &erased, message_bits.len(), decoded)
         .is_ok();
     if ok {
         metric_counter!("dsss.frames_decoded").inc();
-        Some(decoded)
     } else {
         metric_counter!("dsss.frames_failed").inc();
-        None
     }
+    ok
+}
+
+/// Broadcasts one HELLO copy per code in `a_codes` at consecutive message
+/// windows starting at absolute chip `base`, with `jammer` (if any)
+/// covering the tail of every copy. This is message 1 of the handshake,
+/// shared verbatim by the one-session driver below and the batch engine;
+/// the caller renders the spanned window and scans it with [`scan_hello`].
+///
+/// `garbage` stages the jam bits (the random draws from `rng` are
+/// identical to an unpooled collect).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn transmit_hello(
+    channel: &mut ChipChannel,
+    base: u64,
+    hello_coded: &[bool],
+    a_codes: &[&SpreadCode],
+    jammer: Option<&ChipJammer>,
+    chip_rate: f64,
+    rng: &mut SimRng,
+    garbage: &mut Vec<bool>,
+) {
+    let n = a_codes[0].len();
+    let msg_chips = hello_coded.len() * n;
+    let mut offset = base;
+    for code in a_codes {
+        channel.transmit(offset, spread(hello_coded, code), 1);
+        offset += msg_chips as u64;
+    }
+    if let Some(j) = jammer.filter(|j| j.attacks(0)) {
+        // Reactive jammer: covers the tail `fraction` of every HELLO
+        // copy, chip-synchronized (the paper grants the jammer chip
+        // sync).
+        let jam_bits = ((hello_coded.len() as f64) * j.fraction).round() as usize;
+        if jam_bits > 0 {
+            for copy in 0..a_codes.len() {
+                let start_bit = copy * hello_coded.len() + (hello_coded.len() - jam_bits);
+                garbage.clear();
+                garbage.extend((0..jam_bits).map(|_| rng.gen::<bool>()));
+                record_jam(hello_coded.len() - jam_bits, jam_bits, n, chip_rate);
+                channel.transmit(
+                    base + (start_bit * n) as u64,
+                    spread(garbage, &j.code),
+                    j.amplitude,
+                );
+            }
+        }
+    }
+}
+
+/// B's receive side of message 1: the sliding-window scan over its whole
+/// rendered buffering window. The receiver keeps scanning past failed
+/// candidates — a noise-induced sync or an undecodable (jammed) frame must
+/// not stop it from finding a later clean copy in the same buffer.
+///
+/// Returns B's CONFIRM frame (if a valid HELLO was recovered), the
+/// correlations evaluated, and the sync candidates discarded. Shared
+/// verbatim by the one-session driver and the batch engine;
+/// `hello_decoded`/`frame`/`scan` are caller-pooled scratch with no effect
+/// on decisions.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scan_hello(
+    scanner: &mut BankScanner<'_, '_>,
+    shared_b: usize,
+    hello_coded_len: usize,
+    hello_bits_len: usize,
+    tau: f64,
+    codec: &mut FrameCodec,
+    responder: &mut Responder,
+    hello_decoded: &mut Vec<bool>,
+    frame: &mut Frame,
+    scan: &mut ScanScratch,
+) -> (Option<Vec<bool>>, u64, u64) {
+    let n = scanner.bank().code_len();
+    let buffer_len = scanner.samples().len();
+    let mut scan_correlations = 0u64;
+    let mut sync_retries = 0u64;
+    let mut confirm_frame: Option<Vec<bool>> = None;
+    let mut pos = 0usize;
+    metric_counter!("chiplink.handshakes").inc();
+    while pos + n <= buffer_len {
+        let Some(h) = scan_from_with(scanner, pos, tau, scan) else {
+            metric_counter!("dsss.sync_misses").inc();
+            break;
+        };
+        metric_counter!("dsss.sync_hits").inc();
+        scan_correlations += h.correlations_computed;
+        let abs_offset = h.offset;
+        let code = scanner.bank().codes()[h.code_index];
+        let decoded = decode_frame_into(
+            scanner.samples(),
+            abs_offset,
+            code,
+            hello_coded_len,
+            tau,
+            frame,
+        ) && codec
+            .decode_into(&frame.bits, &frame.erased, hello_bits_len, hello_decoded)
+            .is_ok();
+        if decoded && h.code_index == shared_b {
+            if let Ok(confirm) = responder.on_hello(hello_decoded, CodeId(shared_b as u32)) {
+                confirm_frame = Some(confirm);
+                break;
+            }
+        }
+        // Skip one bit period: the refinement already searched this window.
+        sync_retries += 1;
+        pos = abs_offset + n;
+    }
+    metric_counter!("dsss.scan_correlations").add(scan_correlations);
+    metric_counter!("dsss.sync_retries").add(sync_retries);
+    (confirm_frame, scan_correlations, sync_retries)
 }
 
 /// Accounts one jam burst: chips covered, plus the jammer's reaction
@@ -471,6 +596,8 @@ fn run_handshake_inner(
     // One reused sample buffer per link: B's buffering window is rendered
     // into it once, and the bank scanner borrows it for every resumed scan.
     let mut buffer = Vec::new();
+    let mut garbage = Vec::new();
+    let a_refs: Vec<&SpreadCode> = a_codes.iter().collect();
     {
         let channel: &mut ChipChannel = match medium.as_deref_mut() {
             Some(m) => &mut m.channel,
@@ -479,29 +606,16 @@ fn run_handshake_inner(
                 &mut fresh_channel
             }
         };
-        let mut offset = base;
-        for code in a_codes {
-            channel.transmit(offset, spread(&hello_coded, code), 1);
-            offset += msg_chips as u64;
-        }
-        if let Some(j) = jammer.filter(|j| j.attacks(0)) {
-            // Reactive jammer: covers the tail `fraction` of every HELLO
-            // copy, chip-synchronized (the paper grants the jammer chip
-            // sync).
-            let jam_bits = ((hello_coded.len() as f64) * j.fraction).round() as usize;
-            if jam_bits > 0 {
-                for copy in 0..a_codes.len() {
-                    let start_bit = copy * hello_coded.len() + (hello_coded.len() - jam_bits);
-                    let garbage: Vec<bool> = (0..jam_bits).map(|_| rng.gen()).collect();
-                    record_jam(hello_coded.len() - jam_bits, jam_bits, n, params.chip_rate);
-                    channel.transmit(
-                        base + (start_bit * n) as u64,
-                        spread(&garbage, &j.code),
-                        j.amplitude,
-                    );
-                }
-            }
-        }
+        transmit_hello(
+            channel,
+            base,
+            &hello_coded,
+            &a_refs,
+            jammer,
+            params.chip_rate,
+            &mut rng,
+            &mut garbage,
+        );
         channel.render_into(&mut buffer, base, msg_chips * a_codes.len());
     }
     if let Some(m) = medium.as_deref_mut() {
@@ -509,51 +623,27 @@ fn run_handshake_inner(
     }
     let b_refs: Vec<&SpreadCode> = b_codes.iter().collect();
     // One code bank and one prefix-sum pass over the buffer serve every
-    // resumed scan below (the batched kernel in jrsnd_dsss::correlate).
+    // resumed scan (the batched kernel in jrsnd_dsss::correlate).
     let bank = MultiCorrelator::new(&b_refs);
     let mut scanner = bank.scanner(&buffer);
-    // The receiver keeps scanning past failed candidates — a noise-induced
-    // sync or an undecodable (jammed) frame must not stop it from finding
-    // a later clean copy in the same buffer.
-    let mut scan_correlations = 0u64;
-    let mut sync_retries = 0u64;
-    let mut confirm_frame: Option<Vec<bool>> = None;
-    let mut pos = 0usize;
-    // One decode buffer reused across every retried sync candidate.
     let mut hello_decoded = Vec::new();
-    metric_counter!("chiplink.handshakes").inc();
-    while pos + n <= buffer.len() {
-        let Some(h) = scan_from(&mut scanner, pos, tau) else {
-            metric_counter!("dsss.sync_misses").inc();
-            break;
-        };
-        metric_counter!("dsss.sync_hits").inc();
-        scan_correlations += h.correlations_computed;
-        let abs_offset = h.offset;
-        let frame = decode_frame(
-            &buffer,
-            abs_offset,
-            &b_codes[h.code_index],
-            hello_coded.len(),
-            tau,
-        );
-        let decoded = frame.is_some_and(|f| {
-            codec
-                .decode_into(&f.bits, &f.erased, hello_bits.len(), &mut hello_decoded)
-                .is_ok()
-        });
-        if decoded && h.code_index == shared_b {
-            if let Ok(confirm) = responder.on_hello(&hello_decoded, CodeId(shared_b as u32)) {
-                confirm_frame = Some(confirm);
-                break;
-            }
-        }
-        // Skip one bit period: the refinement already searched this window.
-        sync_retries += 1;
-        pos = abs_offset + n;
-    }
-    metric_counter!("dsss.scan_correlations").add(scan_correlations);
-    metric_counter!("dsss.sync_retries").add(sync_retries);
+    let mut frame = Frame {
+        bits: Vec::new(),
+        erased: Vec::new(),
+    };
+    let mut scan_scratch = ScanScratch::new();
+    let (confirm_frame, scan_correlations, sync_retries) = scan_hello(
+        &mut scanner,
+        shared_b,
+        hello_coded.len(),
+        hello_bits.len(),
+        tau,
+        codec,
+        &mut responder,
+        &mut hello_decoded,
+        &mut frame,
+        &mut scan_scratch,
+    );
     let Some(confirm_bits) = confirm_frame else {
         return HandshakeReport {
             discovered: false,
@@ -568,6 +658,9 @@ fn run_handshake_inner(
     // staging buffer for the remaining three messages.
     let mut coded_buf = hello_coded;
 
+    // One decoded-bits buffer reused across the remaining three messages.
+    let mut decoded = Vec::new();
+
     // ---- Message 2: B -> A {CONFIRM, ID_B} spread with the shared code. ----
     let auth_a_frame = transmit_and_receive(
         &confirm_bits,
@@ -581,8 +674,11 @@ fn run_handshake_inner(
         seed ^ 0x2222,
         medium.as_deref_mut(),
         &mut rng,
+        &mut garbage,
+        &mut decoded,
     )
-    .and_then(|bits| initiator.on_confirm(&bits, CodeId(shared_b as u32)).ok());
+    .then(|| initiator.on_confirm(&decoded, CodeId(shared_b as u32)).ok())
+    .flatten();
     let Some(auth_a_bits) = auth_a_frame else {
         return HandshakeReport {
             discovered: false,
@@ -605,11 +701,14 @@ fn run_handshake_inner(
         seed ^ 0x3333,
         medium.as_deref_mut(),
         &mut rng,
+        &mut garbage,
+        &mut decoded,
     )
-    .and_then(|bits| match cache.as_deref_mut() {
-        Some(c) => responder.on_auth_a_cached(&bits, c).ok(),
-        None => responder.on_auth_a(&bits).ok(),
-    });
+    .then(|| match cache.as_deref_mut() {
+        Some(c) => responder.on_auth_a_cached(&decoded, c).ok(),
+        None => responder.on_auth_a(&decoded).ok(),
+    })
+    .flatten();
     let Some((auth_b_bits, est_b)) = auth_b_frame else {
         return HandshakeReport {
             discovered: false,
@@ -632,11 +731,14 @@ fn run_handshake_inner(
         seed ^ 0x4444,
         medium,
         &mut rng,
+        &mut garbage,
+        &mut decoded,
     )
-    .and_then(|bits| match cache {
-        Some(c) => initiator.on_auth_b_cached(&bits, c).ok(),
-        None => initiator.on_auth_b(&bits).ok(),
-    });
+    .then(|| match cache {
+        Some(c) => initiator.on_auth_b_cached(&decoded, c).ok(),
+        None => initiator.on_auth_b(&decoded).ok(),
+    })
+    .flatten();
     let Some(est_a) = est_a else {
         return HandshakeReport {
             discovered: false,

@@ -24,6 +24,11 @@
 //! * [`chiplink`] — the complete handshake run at chip level through the
 //!   DSSS/ECC/crypto substrates, validating the protocol-level
 //!   abstraction;
+//! * [`engine`] — the batch session engine: thousands-to-millions of
+//!   concurrent chip-level D-NDP/M-NDP sessions advanced tick-by-tick on
+//!   shared media, with one render + prefix-sum pass per receive chunk
+//!   ("m receivers, one pass") and byte-identical outputs to the
+//!   sequential driver;
 //! * [`params`] / [`messages`] / [`node`] — Table I parameters, wire
 //!   formats, per-node state.
 //!
@@ -55,6 +60,7 @@ pub mod chiplink;
 pub mod decode;
 pub mod deployment;
 pub mod dndp;
+pub mod engine;
 pub mod handshake;
 pub mod jammer;
 pub mod messages;
@@ -72,6 +78,7 @@ pub mod timeline;
 
 pub use decode::DecodeError;
 pub use deployment::{Deployment, ProvisionedNode};
+pub use engine::{BatchEngine, EngineConfig, JamSpec, SessionKind, SessionOutcome, SessionSpec};
 pub use jammer::{Jammer, JammerKind};
 pub use network::{run_once, run_once_opt, ExperimentConfig, ResilienceConfig, RunResult};
 pub use params::{Params, ParamsError};

@@ -48,7 +48,11 @@
 //! assert_eq!(c_ab, c_ba);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` instead of `forbid`: the SHA-256 lane kernel's runtime dispatch
+// (`sha256::compress_lanes_at`) needs `unsafe` strictly to call its
+// `#[target_feature]` variants, each guarded by CPU detection; everything
+// else in the crate stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod hmac;

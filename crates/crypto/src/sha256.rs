@@ -16,7 +16,12 @@
 //! derivation `h_K(n_A ⊗ n_B)`; no hashing crate is in the offline
 //! dependency set, and the algorithm is 200 lines.
 
+// `unsafe` here is confined to calling the `#[target_feature]` variants of
+// the lane kernel, each guarded by runtime CPU detection.
+#![allow(unsafe_code)]
+
 use jrsnd_sim::metric_counter;
+use jrsnd_sim::simd::{active, detected, SimdLevel};
 
 /// Digest size in bytes.
 pub const DIGEST_LEN: usize = 32;
@@ -98,11 +103,52 @@ pub fn compress_block(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
 /// vector instructions (4 lanes → SSE/NEON width, 8 lanes → AVX2 width).
 /// Lane `l` ends in exactly the state [`compress_block`] would have
 /// produced — the kernel changes throughput, never digests.
+pub fn compress_lanes<const L: usize>(states: &mut [[u32; 8]; L], blocks: &[[u8; BLOCK_LEN]; L]) {
+    metric_counter!("crypto.blocks_compressed").add(L as u64);
+    compress_lanes_at(active(), states, blocks);
+}
+
+/// [`compress_lanes`] compiled for an explicit SIMD `level`, clamped to
+/// the host's capability (no metric side effects). Exposed for the
+/// kernel-equivalence tests; all levels produce identical states.
+#[inline]
+pub fn compress_lanes_at<const L: usize>(
+    level: SimdLevel,
+    states: &mut [[u32; 8]; L],
+    blocks: &[[u8; BLOCK_LEN]; L],
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let level = level.min(detected());
+        match level {
+            // SAFETY: `level` is clamped to `detected()`, so the required
+            // feature is present on this CPU.
+            SimdLevel::Avx2 => return unsafe { compress_lanes_avx2(states, blocks) },
+            SimdLevel::Sse41 => return unsafe { compress_lanes_sse41(states, blocks) },
+            SimdLevel::Scalar => {}
+        }
+    }
+    let _ = level;
+    compress_lanes_body(states, blocks)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn compress_lanes_avx2<const L: usize>(states: &mut [[u32; 8]; L], blocks: &[[u8; BLOCK_LEN]; L]) {
+    compress_lanes_body(states, blocks)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.1")]
+fn compress_lanes_sse41<const L: usize>(states: &mut [[u32; 8]; L], blocks: &[[u8; BLOCK_LEN]; L]) {
+    compress_lanes_body(states, blocks)
+}
+
 // Indexed loops keep every lane operation in lockstep constant-trip form
 // for autovectorization; iterator rewrites obscure that shape.
 #[allow(clippy::needless_range_loop)]
-pub fn compress_lanes<const L: usize>(states: &mut [[u32; 8]; L], blocks: &[[u8; BLOCK_LEN]; L]) {
-    metric_counter!("crypto.blocks_compressed").add(L as u64);
+#[inline(always)]
+fn compress_lanes_body<const L: usize>(states: &mut [[u32; 8]; L], blocks: &[[u8; BLOCK_LEN]; L]) {
     // Message schedule, lane-minor: w[round][lane].
     let mut w = [[0u32; L]; 64];
     for i in 0..16 {
@@ -648,6 +694,20 @@ mod tests {
             for (i, m) in msgs.iter().enumerate() {
                 assert_eq!(lanes[i], reference::sha256(m), "len {len} lane {i}");
             }
+        }
+    }
+
+    #[test]
+    fn every_runnable_level_agrees_on_compress_lanes() {
+        use jrsnd_sim::simd::levels_up_to;
+        let blocks: [[u8; BLOCK_LEN]; 4] =
+            std::array::from_fn(|l| std::array::from_fn(|i| (l * 67 + i) as u8));
+        let mut want = [H0; 4];
+        compress_lanes_body(&mut want, &blocks);
+        for &level in levels_up_to(detected()) {
+            let mut got = [H0; 4];
+            compress_lanes_at(level, &mut got, &blocks);
+            assert_eq!(got, want, "{level:?}");
         }
     }
 

@@ -289,35 +289,18 @@ impl ChipChannel {
         }
     }
 
-    /// Superposes one transmission's overlap with the window, 64 chips per
-    /// word read. `e = 0` for a +1 chip and `−1` for a −1 chip, so
-    /// `(amp ^ e) − e` is ±amp branch-free (the [`ChipSeq::dot_levels`]
-    /// sign-select), which auto-vectorizes.
+    /// Superposes one transmission's overlap with the window. The word
+    /// loop lives in [`crate::simd::add_levels`], dispatched at runtime to
+    /// the widest kernel the CPU supports; this wrapper only computes the
+    /// overlap geometry.
     fn add_transmission(out: &mut [i32], start: u64, tx: &Transmission) {
         let end = start + out.len() as u64;
         let from = tx.start_chip.max(start);
         let to = tx.end_chip().min(end);
-        let amp = tx.amplitude;
-        let mut rel = (from - tx.start_chip) as usize;
-        let mut oi = (from - start) as usize;
-        let mut remaining = (to - from) as usize;
-        while remaining >= 64 {
-            let w = tx.chips.word_at(rel);
-            for (k, slot) in out[oi..oi + 64].iter_mut().enumerate() {
-                let e = (((w >> k) & 1) as i32).wrapping_sub(1);
-                *slot += (amp ^ e) - e;
-            }
-            rel += 64;
-            oi += 64;
-            remaining -= 64;
-        }
-        if remaining > 0 {
-            let w = tx.chips.word_at(rel);
-            for (k, slot) in out[oi..oi + remaining].iter_mut().enumerate() {
-                let e = (((w >> k) & 1) as i32).wrapping_sub(1);
-                *slot += (amp ^ e) - e;
-            }
-        }
+        let rel = (from - tx.start_chip) as usize;
+        let oi = (from - start) as usize;
+        let len = (to - from) as usize;
+        crate::simd::add_levels(&mut out[oi..oi + len], &tx.chips, rel, tx.amplitude);
     }
 
     /// Per-chip noise — exposed for the oracle and boundary tests.

@@ -27,6 +27,7 @@
 
 use crate::channel::ChipChannel;
 use crate::code::SpreadCode;
+use crate::simd;
 
 /// A bank of equal-length candidate codes, laid out for batched window
 /// correlation.
@@ -99,6 +100,33 @@ impl<'a> MultiCorrelator<'a> {
         &self.codes
     }
 
+    /// Re-points this bank at the pool codes selected by `indices`,
+    /// copying their pre-expanded mask rows instead of re-expanding from
+    /// the bit-packed words. This is how the batch session engine gives
+    /// every session its own (small) bank without paying the `4·N·m`
+    /// expansion per session: one pool-wide bank is expanded once, and
+    /// per-session banks are assembled by row memcpy.
+    ///
+    /// Correlations through the reassembled bank are bit-identical to a
+    /// fresh [`MultiCorrelator::new`] over the same codes: the rows are
+    /// the same bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range for `pool`.
+    pub fn assign_from_pool(&mut self, pool: &MultiCorrelator<'a>, indices: &[usize]) {
+        let n = pool.n;
+        self.n = n;
+        self.codes.clear();
+        self.codes.extend(indices.iter().map(|&i| pool.codes[i]));
+        self.pos_masks.clear();
+        self.pos_masks.reserve(n * indices.len());
+        for &i in indices {
+            self.pos_masks
+                .extend_from_slice(&pool.pos_masks[i * n..(i + 1) * n]);
+        }
+    }
+
     /// Number of codes `m`.
     pub fn num_codes(&self) -> usize {
         self.codes.len()
@@ -117,18 +145,46 @@ impl<'a> MultiCorrelator<'a> {
     /// Prepares `samples` for repeated window correlation: one prefix-sum
     /// pass that every subsequent offset reuses.
     pub fn scanner<'s>(&'s self, samples: &'s [i32]) -> BankScanner<'s, 'a> {
-        let mut prefix = Vec::with_capacity(samples.len() + 1);
-        let mut acc: i64 = 0;
-        prefix.push(0);
-        for &s in samples {
-            acc += i64::from(s);
-            prefix.push(acc);
-        }
+        let mut prefix = PrefixSums::new();
+        prefix.compute(samples);
         BankScanner {
             bank: self,
             samples,
-            prefix,
-            pos_sums: vec![0; self.codes.len()],
+            prefix: Prefix::Owned(prefix),
+            pos_sums: Vec::new(),
+        }
+    }
+
+    /// Like [`MultiCorrelator::scanner`], but borrows prefix sums computed
+    /// once over a larger shared buffer instead of re-summing this bank's
+    /// slice of it. `samples` must be the sub-slice starting `base` chips
+    /// into the buffer `sums` was computed from.
+    ///
+    /// This is the "m receivers, one pass" shape: when many receivers scan
+    /// (windows of) the same rendered medium, the `O(len)` total pass is
+    /// paid once and every receiver's window totals come from the same
+    /// exact `i64` sums — `sums[base+o+n] − sums[base+o]` is identical to
+    /// what a private [`MultiCorrelator::scanner`] over `samples` would
+    /// compute, so correlations are bit-for-bit unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sums` does not cover `base + samples.len()` chips.
+    pub fn scanner_in<'s>(
+        &'s self,
+        samples: &'s [i32],
+        sums: &'s PrefixSums,
+        base: usize,
+    ) -> BankScanner<'s, 'a> {
+        assert!(
+            base + samples.len() < sums.sums.len(),
+            "shared prefix sums do not cover the scanned slice"
+        );
+        BankScanner {
+            bank: self,
+            samples,
+            prefix: Prefix::Shared { sums, base },
+            pos_sums: Vec::new(),
         }
     }
 
@@ -138,15 +194,62 @@ impl<'a> MultiCorrelator<'a> {
     fn pos_sums_into(&self, window: &[i32], out: &mut [i64]) {
         debug_assert_eq!(window.len(), self.n);
         debug_assert_eq!(out.len(), self.codes.len());
+        let level = simd::active();
         for (c, acc) in out.iter_mut().enumerate() {
             let row = &self.pos_masks[c * self.n..(c + 1) * self.n];
-            *acc = window
-                .iter()
-                .zip(row)
-                .map(|(&s, &e)| i64::from(s & e))
-                .sum();
+            *acc = simd::masked_sum_at(level, window, row);
         }
     }
+}
+
+/// Exact `i64` prefix sums of a sample buffer: `sums[k] = Σ_{i<k} s[i]`.
+///
+/// Computed once per buffer and shared by every [`BankScanner`] built with
+/// [`MultiCorrelator::scanner_in`], so `m` receivers scanning one rendered
+/// medium pay the total pass once instead of `m` times. The backing vector
+/// is retained across [`PrefixSums::compute`] calls, so a pooled instance
+/// reaches a steady state with no per-use allocation.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixSums {
+    sums: Vec<i64>,
+}
+
+impl PrefixSums {
+    /// An empty instance (covers zero chips until [`PrefixSums::compute`]).
+    pub fn new() -> Self {
+        PrefixSums::default()
+    }
+
+    /// Recomputes the sums over `samples`, reusing the backing storage.
+    pub fn compute(&mut self, samples: &[i32]) {
+        self.sums.clear();
+        self.sums.reserve(samples.len() + 1);
+        self.sums.push(0);
+        let mut acc: i64 = 0;
+        for &s in samples {
+            acc += i64::from(s);
+            self.sums.push(acc);
+        }
+    }
+
+    /// Number of chips covered (the length of the buffer last computed).
+    pub fn chips(&self) -> usize {
+        self.sums.len().saturating_sub(1)
+    }
+
+    /// `Σ samples[start..end]`, exactly.
+    #[inline]
+    pub fn range_total(&self, start: usize, end: usize) -> i64 {
+        self.sums[end] - self.sums[start]
+    }
+}
+
+/// Where a scanner's window totals come from: its own pass, or a shared
+/// buffer-wide [`PrefixSums`] at an offset.
+#[derive(Debug)]
+enum Prefix<'s> {
+    Owned(PrefixSums),
+    Shared { sums: &'s PrefixSums, base: usize },
 }
 
 /// The fused render→despread path: bit-aligned windows are rendered one at
@@ -231,8 +334,8 @@ impl<'b, 'a> FusedDespreader<'b, 'a> {
 pub struct BankScanner<'s, 'a> {
     bank: &'s MultiCorrelator<'a>,
     samples: &'s [i32],
-    /// `prefix[k] = Σ_{i<k} samples[i]` — window totals in O(1) per offset.
-    prefix: Vec<i64>,
+    /// Window totals in O(1) per offset — owned or shared prefix sums.
+    prefix: Prefix<'s>,
     pos_sums: Vec<i64>,
 }
 
@@ -259,7 +362,12 @@ impl BankScanner<'_, '_> {
     /// The window total `Σ sᵢ` at `offset` — shared by every code.
     #[inline]
     pub fn window_total(&self, offset: usize) -> i64 {
-        self.prefix[offset + self.bank.n] - self.prefix[offset]
+        match &self.prefix {
+            Prefix::Owned(p) => p.range_total(offset, offset + self.bank.n),
+            Prefix::Shared { sums, base } => {
+                sums.range_total(base + offset, base + offset + self.bank.n)
+            }
+        }
     }
 
     /// Normalised correlations of the window at `offset` against **all**
@@ -272,8 +380,9 @@ impl BankScanner<'_, '_> {
         let n = self.bank.n;
         assert!(n > 0, "cannot correlate against an empty bank");
         assert_eq!(out.len(), self.bank.codes.len(), "one output slot per code");
-        let window = &self.samples[offset..offset + n];
         let total = self.window_total(offset);
+        self.pos_sums.resize(self.bank.codes.len(), 0);
+        let window = &self.samples[offset..offset + n];
         self.bank.pos_sums_into(window, &mut self.pos_sums);
         for (o, &p) in out.iter_mut().zip(&self.pos_sums) {
             *o = (2 * p - total) as f64 / n as f64;
@@ -304,16 +413,13 @@ impl BankScanner<'_, '_> {
             "offset block exceeds the buffer"
         );
         assert!(out.len() >= count * m, "one output slot per (offset, code)");
+        let level = simd::active();
         for c in 0..m {
             let row = &self.bank.pos_masks[c * n..(c + 1) * n];
             for i in 0..count {
                 let o = start + i;
                 let window = &self.samples[o..o + n];
-                let p: i64 = window
-                    .iter()
-                    .zip(row)
-                    .map(|(&s, &e)| i64::from(s & e))
-                    .sum();
+                let p = simd::masked_sum_at(level, window, row);
                 out[i * m + c] = (2 * p - self.window_total(o)) as f64 / n as f64;
             }
         }
@@ -325,7 +431,8 @@ impl BankScanner<'_, '_> {
         let n = self.bank.n;
         let window = &self.samples[offset..offset + n];
         let total = self.window_total(offset);
-        let p = self.bank.codes[code_index].chips().masked_sum(window);
+        let row = &self.bank.pos_masks[code_index * n..(code_index + 1) * n];
+        let p = simd::masked_sum(window, row);
         (2 * p - total) as f64 / n as f64
     }
 }
@@ -446,6 +553,92 @@ mod tests {
             fused.correlate_at(&ch, (j * 128) as u64, &mut got);
             for c in 0..4 {
                 assert_eq!(got[c].to_bits(), want[c].to_bits(), "bit {j} code {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_prefix_scanner_is_bit_identical_to_owned() {
+        let mut r = rng(8);
+        let codes: Vec<SpreadCode> = (0..4).map(|_| SpreadCode::random(64, &mut r)).collect();
+        let refs: Vec<&SpreadCode> = codes.iter().collect();
+        let bank = MultiCorrelator::new(&refs);
+        // One big "medium" buffer; three receivers scan disjoint slices.
+        let buffer: Vec<i32> = (0..1000).map(|_| r.gen_range(-9..=9)).collect();
+        let mut sums = PrefixSums::new();
+        sums.compute(&buffer);
+        assert_eq!(sums.chips(), 1000);
+        for base in [0usize, 137, 700] {
+            let slice = &buffer[base..base + 300];
+            let mut owned = bank.scanner(slice);
+            let mut shared = bank.scanner_in(slice, &sums, base);
+            let mut want = [0.0; 4];
+            let mut got = [0.0; 4];
+            for offset in 0..=300 - 64 {
+                assert_eq!(shared.window_total(offset), owned.window_total(offset));
+                owned.correlate_all(offset, &mut want);
+                shared.correlate_all(offset, &mut got);
+                for c in 0..4 {
+                    assert_eq!(
+                        got[c].to_bits(),
+                        want[c].to_bits(),
+                        "base={base} o={offset}"
+                    );
+                }
+                assert_eq!(
+                    shared.correlate_one(offset, 2).to_bits(),
+                    owned.correlate_one(offset, 2).to_bits()
+                );
+            }
+            let count = 300 - 64 + 1;
+            let mut bw = vec![0.0; count * 4];
+            let mut bg = vec![0.0; count * 4];
+            owned.correlate_block(0, count, &mut bw);
+            shared.correlate_block(0, count, &mut bg);
+            assert!(bw.iter().zip(&bg).all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "do not cover")]
+    fn shared_prefix_must_cover_the_slice() {
+        let mut r = rng(9);
+        let code = SpreadCode::random(32, &mut r);
+        let bank = MultiCorrelator::new(&[&code]);
+        let buffer: Vec<i32> = (0..100).map(|_| r.gen_range(-3..=3)).collect();
+        let mut sums = PrefixSums::new();
+        sums.compute(&buffer[..50]);
+        bank.scanner_in(&buffer, &sums, 0);
+    }
+
+    #[test]
+    fn assign_from_pool_matches_fresh_bank() {
+        let mut r = rng(10);
+        let pool_codes: Vec<SpreadCode> = (0..8).map(|_| SpreadCode::random(128, &mut r)).collect();
+        let pool_refs: Vec<&SpreadCode> = pool_codes.iter().collect();
+        let pool = MultiCorrelator::new(&pool_refs);
+        let samples: Vec<i32> = (0..400).map(|_| r.gen_range(-20..=20)).collect();
+        for indices in [vec![3usize, 0, 7], vec![5], vec![]] {
+            let picked: Vec<&SpreadCode> = indices.iter().map(|&i| &pool_codes[i]).collect();
+            let fresh = MultiCorrelator::new(&picked);
+            let mut reused = MultiCorrelator::new(&[]);
+            reused.assign_from_pool(&pool, &indices);
+            assert_eq!(reused.num_codes(), indices.len());
+            if indices.is_empty() {
+                continue;
+            }
+            assert_eq!(reused.code_len(), 128);
+            let mut sf = fresh.scanner(&samples);
+            let mut sr = reused.scanner(&samples);
+            let mut want = vec![0.0; indices.len()];
+            let mut got = vec![0.0; indices.len()];
+            for offset in [0usize, 1, 200, 272] {
+                sf.correlate_all(offset, &mut want);
+                sr.correlate_all(offset, &mut got);
+                assert!(want
+                    .iter()
+                    .zip(&got)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()));
             }
         }
     }

@@ -53,7 +53,10 @@
 //! assert_eq!(frame.bits, hello);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` instead of `forbid`: the runtime-dispatch module (`simd`) needs
+// `unsafe` strictly to call its `#[target_feature]` kernel variants, each
+// guarded by CPU detection; everything else in the crate stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod channel;
@@ -61,6 +64,7 @@ pub mod chip;
 pub mod code;
 pub mod correlate;
 pub mod gold;
+pub mod simd;
 pub mod spread;
 pub mod sync;
 pub mod timing;
@@ -69,7 +73,10 @@ pub mod walsh;
 pub use channel::ChipChannel;
 pub use chip::ChipSeq;
 pub use code::{CodeId, CodePool, SpreadCode, DEFAULT_CODE_LEN};
-pub use correlate::{BankScanner, MultiCorrelator};
+pub use correlate::{BankScanner, MultiCorrelator, PrefixSums};
 pub use spread::{despread_levels, spread, BitDecision, DEFAULT_TAU};
-pub use sync::{decode_frame, scan, scan_all, scan_and_decode, scan_from, Frame, SyncHit};
+pub use sync::{
+    decode_frame, decode_frame_into, scan, scan_all, scan_and_decode, scan_from, scan_from_with,
+    Frame, ScanScratch, SyncHit,
+};
 pub use timing::Schedule;

@@ -94,6 +94,35 @@ pub fn scan(samples: &[i32], codes: &[&SpreadCode], tau: f64) -> Option<SyncHit>
 /// offset charges only the codes up to and including the trigger), so the
 /// work metric is identical to scanning code by code.
 pub fn scan_from(scanner: &mut BankScanner<'_, '_>, start: usize, tau: f64) -> Option<SyncHit> {
+    scan_from_with(scanner, start, tau, &mut ScanScratch::new())
+}
+
+/// Reusable block buffers for [`scan_from_with`], so a receiver scanning
+/// many buffers (the batch session engine serves thousands per tick) pays
+/// the block allocations once instead of per scan. A fresh instance
+/// behaves exactly like the allocations [`scan_from`] used to make — the
+/// buffers are resized and fully overwritten before any read.
+#[derive(Debug, Clone, Default)]
+pub struct ScanScratch {
+    block: Vec<f64>,
+    rblock: Vec<f64>,
+}
+
+impl ScanScratch {
+    /// An empty scratch; buffers grow on first use and are then retained.
+    pub fn new() -> Self {
+        ScanScratch::default()
+    }
+}
+
+/// [`scan_from`] with caller-pooled scratch — identical hits and work
+/// counters, no per-call allocation once `scratch` has warmed up.
+pub fn scan_from_with(
+    scanner: &mut BankScanner<'_, '_>,
+    start: usize,
+    tau: f64,
+    scratch: &mut ScanScratch,
+) -> Option<SyncHit> {
     /// Offsets per [`BankScanner::correlate_block`] call: enough reuse of
     /// each code's mask row, small enough that the block result and the
     /// spanned samples stay cache-resident.
@@ -106,9 +135,10 @@ pub fn scan_from(scanner: &mut BankScanner<'_, '_>, start: usize, tau: f64) -> O
     let n = scanner.bank().code_len();
     let last = scanner.last_offset()?;
     let buffer_len = scanner.samples().len();
-    let mut block = vec![0.0f64; BLOCK * m];
+    scratch.block.resize(BLOCK * m, 0.0);
+    scratch.rblock.resize(BLOCK * m, 0.0);
+    let (block, rblock) = (&mut scratch.block, &mut scratch.rblock);
     let mut block_start = usize::MAX; // no block computed yet
-    let mut rblock = vec![0.0f64; BLOCK * m];
     let mut offset = start;
     while offset <= last {
         // The sweep consumes correlations block by block; most offsets
@@ -117,7 +147,7 @@ pub fn scan_from(scanner: &mut BankScanner<'_, '_>, start: usize, tau: f64) -> O
         if block_start == usize::MAX || offset < block_start || offset >= block_start + BLOCK {
             block_start = offset;
             let count = BLOCK.min(last - offset + 1);
-            scanner.correlate_block(offset, count, &mut block);
+            scanner.correlate_block(offset, count, block);
         }
         let corr = &block[(offset - block_start) * m..][..m];
         let triggered = corr.iter().position(|c| c.abs() >= tau);
@@ -138,7 +168,7 @@ pub fn scan_from(scanner: &mut BankScanner<'_, '_>, start: usize, tau: f64) -> O
         let mut o2 = offset + 1;
         while o2 <= refine_end {
             let count = BLOCK.min(refine_end - o2 + 1);
-            scanner.correlate_block(o2, count, &mut rblock);
+            scanner.correlate_block(o2, count, rblock);
             for i in 0..count {
                 work += m as u64;
                 for (code_index, &c) in rblock[i * m..(i + 1) * m].iter().enumerate() {
@@ -180,31 +210,53 @@ pub fn decode_frame(
     n_bits: usize,
     tau: f64,
 ) -> Option<Frame> {
+    let mut frame = Frame {
+        bits: Vec::with_capacity(n_bits),
+        erased: Vec::with_capacity(n_bits),
+    };
+    decode_frame_into(samples, offset, code, n_bits, tau, &mut frame).then_some(frame)
+}
+
+/// [`decode_frame`] into a caller-pooled [`Frame`], clearing it first.
+/// Returns `false` (frame left empty) if the buffer does not contain the
+/// full frame. Identical decisions to [`decode_frame`]; the engine's hot
+/// loop uses this to keep per-tick frame decoding allocation-free once
+/// the pooled frame has warmed up.
+pub fn decode_frame_into(
+    samples: &[i32],
+    offset: usize,
+    code: &SpreadCode,
+    n_bits: usize,
+    tau: f64,
+    frame: &mut Frame,
+) -> bool {
+    frame.bits.clear();
+    frame.erased.clear();
     let n = code.len();
-    let needed = offset.checked_add(n_bits.checked_mul(n)?)?;
+    let Some(needed) = n_bits.checked_mul(n).and_then(|c| offset.checked_add(c)) else {
+        return false;
+    };
     if needed > samples.len() {
-        return None;
+        return false;
     }
-    let mut bits = Vec::with_capacity(n_bits);
-    let mut erased = Vec::with_capacity(n_bits);
     for j in 0..n_bits {
         let window = &samples[offset + j * n..offset + (j + 1) * n];
         match decide(correlate_window(window, code), tau) {
             BitDecision::One => {
-                bits.push(true);
-                erased.push(false);
+                frame.bits.push(true);
+                frame.erased.push(false);
             }
             BitDecision::Zero => {
-                bits.push(false);
-                erased.push(false);
+                frame.bits.push(false);
+                frame.erased.push(false);
             }
             BitDecision::Erased => {
-                bits.push(false);
-                erased.push(true);
+                frame.bits.push(false);
+                frame.erased.push(true);
             }
         }
     }
-    Some(Frame { bits, erased })
+    true
 }
 
 /// Scans the whole buffer and decodes **every** `n_bits`-bit frame found,

@@ -25,6 +25,9 @@
 //! * [`metrics`] — a process-global observability registry (counters,
 //!   gauges, fixed-bucket histograms, opt-in trace ring buffer) with a
 //!   JSON-serializable [`metrics::MetricsSnapshot`];
+//! * [`simd`] — runtime SIMD capability detection ([`simd::SimdLevel`],
+//!   `JRSND_SIMD` override) backing the dispatched correlate/render/SHA-256
+//!   kernels in the sibling crates;
 //! * [`faults`] / [`retry`] — a seeded, stateless fault oracle
 //!   ([`faults::FaultInjector`]) plus a budgeted exponential-backoff
 //!   policy ([`retry::RetryPolicy`]) for chaos experiments, both pure
@@ -61,6 +64,7 @@ pub mod metrics;
 pub mod mobility;
 pub mod retry;
 pub mod rng;
+pub mod simd;
 pub mod soa;
 pub mod stats;
 pub mod time;
@@ -73,6 +77,7 @@ pub use geom::{Field, Point};
 pub use metrics::MetricsSnapshot;
 pub use retry::RetryPolicy;
 pub use rng::SimRng;
+pub use simd::SimdLevel;
 pub use stats::RunningStats;
 pub use time::{SimDuration, SimTime};
 pub use topology::{physical_graph, Graph};
