@@ -25,6 +25,7 @@ fn bench_redundancy_variants(c: &mut Criterion) {
             DndpConfig {
                 redundancy: true,
                 tail_only_attack: true,
+                ..DndpConfig::default()
             },
         ),
         (
@@ -32,6 +33,7 @@ fn bench_redundancy_variants(c: &mut Criterion) {
             DndpConfig {
                 redundancy: false,
                 tail_only_attack: true,
+                ..DndpConfig::default()
             },
         ),
     ] {

@@ -257,7 +257,7 @@ fn bench_end_to_end(c: &mut Criterion) {
                 chunk: 64,
                 shards: 64,
                 retry,
-                threads: None,
+                ..EngineConfig::default()
             },
         );
         b.iter(|| black_box(engine.run(&specs)))

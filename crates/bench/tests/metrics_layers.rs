@@ -31,8 +31,73 @@ fn quick_run_populates_at_least_four_layers() {
     engine.schedule_at(SimTime::from_secs(1), ());
     engine.run(SimTime::from_secs(2), |_, _, _| Control::Continue);
 
+    // Wire layer: a packed D-NDP handshake (encode + parse), a repeated
+    // pooled encode through one FrameCodec (scratch reuse), and a frame
+    // carrying an unknown TLV extension (forward-compat skip).
+    {
+        use jrsnd::handshake::{Initiator, Responder};
+        use jrsnd::messages::{FrameCodec, MessageKind, WireConfig};
+        use jrsnd::params::Params;
+        use jrsnd::wire::{self, WireFormat};
+        use jrsnd_crypto::ibc::{Authority, NodeId};
+        use jrsnd_dsss::code::CodeId;
+        use jrsnd_sim::rng::SimRng;
+        use rand::SeedableRng;
+
+        let params = Params::table1();
+        let w = WireConfig::from_params(&params);
+        let authority = Authority::from_seed(b"metrics-layers");
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut a = Initiator::new_with_format(
+            authority.issue(NodeId(1)),
+            w,
+            WireFormat::Packed,
+            params.n_chips,
+            &mut rng,
+        );
+        let mut b = Responder::new_with_format(
+            authority.issue(NodeId(2)),
+            w,
+            WireFormat::Packed,
+            params.n_chips,
+            64,
+            &mut rng,
+        );
+        let code = CodeId(7);
+        let confirm = b.on_hello(&a.hello_frame(), code).unwrap();
+        let auth_a = a.on_confirm(&confirm, code).unwrap();
+        let (auth_b, _) = b.on_auth_a(&auth_a).unwrap();
+        a.on_auth_b(&auth_b).unwrap();
+
+        let mut codec = FrameCodec::new(params.mu).unwrap();
+        let mut buf = Vec::new();
+        codec
+            .hello_packed(&w, MessageKind::Hello, NodeId(9), &mut buf)
+            .unwrap();
+        codec
+            .hello_packed(&w, MessageKind::Hello, NodeId(9), &mut buf)
+            .unwrap();
+
+        let mut extended = wire::PackedBits::new();
+        wire::encode_hello(&w, MessageKind::Hello, NodeId(9), &mut extended).unwrap();
+        wire::append_extension_varint(&mut extended, 12, 3);
+        let (_, id) = wire::parse_hello(&w, &mut wire::BitCursor::new(&extended)).unwrap();
+        assert_eq!(id, NodeId(9));
+    }
+
     let snap = metrics::snapshot();
-    let layers = ["engine.", "dsss.", "jammer.", "dndp.", "mndp."];
+    for counter in [
+        "wire.bytes_encoded",
+        "wire.frames_parsed",
+        "wire.unknown_fields_skipped",
+        "wire.scratch_reused",
+    ] {
+        assert!(
+            snap.nonzero_with_prefix(counter).contains(&counter),
+            "{counter} should be nonzero after the packed wire exercise"
+        );
+    }
+    let layers = ["engine.", "dsss.", "jammer.", "dndp.", "mndp.", "wire."];
     let active: Vec<&str> = layers
         .iter()
         .copied()

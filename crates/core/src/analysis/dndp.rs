@@ -79,9 +79,19 @@ pub fn p_dndp_lower_by_sum(params: &Params) -> f64 {
 /// assert!(t < 2.0, "T_D = {t}");
 /// ```
 pub fn t_dndp(params: &Params) -> f64 {
+    t_dndp_with_hello_bits(params, params.l_h())
+}
+
+/// [`t_dndp`] with an explicit **coded** HELLO length substituted for the
+/// Table-I `l_h = (1+μ)(l_t + l_id)`. The identification phase scales
+/// linearly in the coded HELLO bit count, so a shorter wire format (e.g.
+/// the packed TLV frame from [`crate::wire`], run through the same (1+μ)
+/// expansion) shrinks `T̄_D`'s dominant term directly; this variant feeds
+/// the packed-vs-legacy theory columns of the latency figure.
+pub fn t_dndp_with_hello_bits(params: &Params, l_h_bits: usize) -> f64 {
     let m = params.m as f64;
     let n = params.n_chips as f64;
-    let ident = params.rho * m * (3.0 * m + 4.0) * n * n * params.l_h() as f64 / 2.0;
+    let ident = params.rho * m * (3.0 * m + 4.0) * n * n * l_h_bits as f64 / 2.0;
     let auth_tx = 2.0 * n * params.l_f() as f64 / params.chip_rate;
     ident + auth_tx + 2.0 * params.t_key
 }
@@ -111,6 +121,26 @@ mod tests {
                 "m={m}, q={q}: {closed} vs {sum}"
             );
         }
+    }
+
+    #[test]
+    fn shorter_hello_shrinks_latency() {
+        use crate::messages::{MessageKind, WireConfig};
+        let p = Params::table1();
+        let raw = crate::wire::packed_hello_bits(
+            &WireConfig::from_params(&p),
+            MessageKind::Hello,
+            jrsnd_crypto::ibc::NodeId(1),
+        );
+        let coded = jrsnd_ecc::expand::ExpansionCode::new(p.mu)
+            .and_then(|c| c.layout(raw))
+            .map(|l| l.coded_bits())
+            .unwrap();
+        assert!(coded < p.l_h(), "coded packed HELLO ({coded}) >= l_h");
+        let t_packed = t_dndp_with_hello_bits(&p, coded);
+        assert!(t_packed < t_dndp(&p));
+        // Delegation: the explicit-length form at l_h is exactly t_dndp.
+        assert_eq!(t_dndp_with_hello_bits(&p, p.l_h()), t_dndp(&p));
     }
 
     #[test]

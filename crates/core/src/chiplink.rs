@@ -12,6 +12,7 @@
 use crate::handshake::{Initiator, Responder};
 use crate::messages::{FrameCodec, WireConfig};
 use crate::params::Params;
+use crate::wire::WireFormat;
 use jrsnd_crypto::ibc::{Authority, NodeId};
 use jrsnd_crypto::session::SessionCodeCache;
 use jrsnd_dsss::channel::ChipChannel;
@@ -416,7 +417,18 @@ pub fn run_handshake_with(
     codec: &mut FrameCodec,
 ) -> HandshakeReport {
     run_handshake_inner(
-        params, authority, a_codes, b_codes, shared_a, shared_b, jammer, seed, codec, None, None,
+        params,
+        authority,
+        a_codes,
+        b_codes,
+        shared_a,
+        shared_b,
+        jammer,
+        seed,
+        codec,
+        None,
+        None,
+        WireFormat::Legacy,
     )
 }
 
@@ -450,6 +462,41 @@ pub fn run_handshake_cached(
         codec,
         Some(cache),
         None,
+        WireFormat::Legacy,
+    )
+}
+
+/// [`run_handshake_cached`] with an explicit [`WireFormat`]: `Legacy`
+/// reproduces it bit for bit; `Packed` runs the same four messages over
+/// the [`crate::wire`] codec — fewer bits per frame, so fewer chips on
+/// the air, with identical crypto and RNG draws.
+#[allow(clippy::too_many_arguments)]
+pub fn run_handshake_cached_fmt(
+    params: &Params,
+    authority: &Authority,
+    a_codes: &[SpreadCode],
+    b_codes: &[SpreadCode],
+    shared_a: usize,
+    shared_b: usize,
+    jammer: Option<&ChipJammer>,
+    seed: u64,
+    codec: &mut FrameCodec,
+    cache: &mut SessionCodeCache,
+    format: WireFormat,
+) -> HandshakeReport {
+    run_handshake_inner(
+        params,
+        authority,
+        a_codes,
+        b_codes,
+        shared_a,
+        shared_b,
+        jammer,
+        seed,
+        codec,
+        Some(cache),
+        None,
+        format,
     )
 }
 
@@ -497,9 +544,45 @@ pub fn run_handshake_resilient(
     jammer: Option<&ChipJammer>,
     seed: u64,
     codec: &mut FrameCodec,
+    cache: Option<&mut SessionCodeCache>,
+    faults: Option<&FaultInjector>,
+    retry: &RetryPolicy,
+) -> ResilientHandshakeReport {
+    run_handshake_resilient_fmt(
+        params,
+        authority,
+        a_codes,
+        b_codes,
+        shared_a,
+        shared_b,
+        jammer,
+        seed,
+        codec,
+        cache,
+        faults,
+        retry,
+        WireFormat::Legacy,
+    )
+}
+
+/// [`run_handshake_resilient`] with an explicit [`WireFormat`] — the
+/// retry/backoff/fault machinery is format-agnostic; only the frame bits
+/// on the channel change.
+#[allow(clippy::too_many_arguments)]
+pub fn run_handshake_resilient_fmt(
+    params: &Params,
+    authority: &Authority,
+    a_codes: &[SpreadCode],
+    b_codes: &[SpreadCode],
+    shared_a: usize,
+    shared_b: usize,
+    jammer: Option<&ChipJammer>,
+    seed: u64,
+    codec: &mut FrameCodec,
     mut cache: Option<&mut SessionCodeCache>,
     faults: Option<&FaultInjector>,
     retry: &RetryPolicy,
+    format: WireFormat,
 ) -> ResilientHandshakeReport {
     let mut medium = LinkMedium::new(seed ^ 0x1111, faults);
     let mut backoff_rng = SimRng::seed_from_u64(seed ^ 0xBACC_0FF5);
@@ -526,6 +609,7 @@ pub fn run_handshake_resilient(
             codec,
             cache.as_deref_mut(),
             Some(&mut medium),
+            format,
         );
         let discovered = r.discovered;
         report = Some(r);
@@ -563,6 +647,7 @@ fn run_handshake_inner(
     codec: &mut FrameCodec,
     mut cache: Option<&mut SessionCodeCache>,
     mut medium: Option<&mut LinkMedium>,
+    format: WireFormat,
 ) -> HandshakeReport {
     assert!(
         !a_codes.is_empty() && !b_codes.is_empty(),
@@ -577,8 +662,21 @@ fn run_handshake_inner(
     let id_b = NodeId(2);
     // The protocol semantics live in the handshake endpoints; this
     // function is the radio layer around them.
-    let mut initiator = Initiator::new(authority.issue(id_a), wire, params.n_chips, &mut rng);
-    let mut responder = Responder::new(authority.issue(id_b), wire, params.n_chips, 256, &mut rng);
+    let mut initiator = Initiator::new_with_format(
+        authority.issue(id_a),
+        wire,
+        format,
+        params.n_chips,
+        &mut rng,
+    );
+    let mut responder = Responder::new_with_format(
+        authority.issue(id_b),
+        wire,
+        format,
+        params.n_chips,
+        256,
+        &mut rng,
+    );
 
     // ---- Message 1: A broadcasts {HELLO, ID_A} with each of its codes. ----
     let hello_bits = initiator.hello_frame();
@@ -902,6 +1000,103 @@ mod tests {
             !cache.is_empty(),
             "completed handshakes populated the cache"
         );
+    }
+
+    #[test]
+    fn packed_format_completes_and_is_deterministic() {
+        let s = setup(13);
+        let mut codec = crate::messages::FrameCodec::new(s.params.mu).unwrap();
+        let mut cache = SessionCodeCache::new(16);
+        let run =
+            |codec: &mut crate::messages::FrameCodec, cache: &mut SessionCodeCache, seed: u64| {
+                run_handshake_cached_fmt(
+                    &s.params,
+                    &s.authority,
+                    &s.a_codes,
+                    &s.b_codes,
+                    1,
+                    1,
+                    None,
+                    seed,
+                    codec,
+                    cache,
+                    WireFormat::Packed,
+                )
+            };
+        let r1 = run(&mut codec, &mut cache, 901);
+        assert_eq!(r1.stage, Stage::Complete);
+        assert!(
+            r1.discovered,
+            "packed handshake completes on a clean channel"
+        );
+        let r2 = run(&mut codec, &mut cache, 901);
+        assert_eq!(r1, r2, "packed path is deterministic");
+        // Shorter frames mean a smaller scan window: the packed HELLO
+        // round costs strictly fewer correlations than the legacy one.
+        let legacy = run_handshake(
+            &s.params,
+            &s.authority,
+            &s.a_codes,
+            &s.b_codes,
+            1,
+            1,
+            None,
+            901,
+        );
+        assert!(legacy.discovered);
+        assert!(
+            r1.scan_correlations < legacy.scan_correlations,
+            "packed {} vs legacy {} scan correlations",
+            r1.scan_correlations,
+            legacy.scan_correlations
+        );
+    }
+
+    #[test]
+    fn packed_resilient_retries_behave_like_legacy_machinery() {
+        use jrsnd_sim::retry::RetryPolicy;
+        let s = setup(14);
+        let mut codec = crate::messages::FrameCodec::new(s.params.mu).unwrap();
+        // A full-strength same-code jammer defeats every attempt in either
+        // format; the retry accounting must agree.
+        let jammer = ChipJammer::from_start(s.a_codes[1].clone(), 1.0, 3);
+        let retry = RetryPolicy::budgeted(3);
+        let packed = run_handshake_resilient_fmt(
+            &s.params,
+            &s.authority,
+            &s.a_codes,
+            &s.b_codes,
+            1,
+            1,
+            Some(&jammer),
+            950,
+            &mut codec,
+            None,
+            None,
+            &retry,
+            WireFormat::Packed,
+        );
+        assert!(packed.degraded);
+        assert_eq!(packed.attempts, retry.max_attempts);
+        // And without the jammer, packed resilient discovery succeeds on
+        // the first attempt.
+        let clean = run_handshake_resilient_fmt(
+            &s.params,
+            &s.authority,
+            &s.a_codes,
+            &s.b_codes,
+            1,
+            1,
+            None,
+            951,
+            &mut codec,
+            None,
+            None,
+            &retry,
+            WireFormat::Packed,
+        );
+        assert!(clean.report.discovered);
+        assert_eq!(clean.attempts, 1);
     }
 
     #[test]

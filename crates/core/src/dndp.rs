@@ -11,7 +11,10 @@
 //! comparison.
 
 use crate::jammer::Jammer;
+use crate::messages::{MessageKind, WireConfig};
 use crate::params::Params;
+use crate::wire::{self, WireFormat};
+use jrsnd_crypto::ibc::NodeId;
 use jrsnd_dsss::code::CodeId;
 use jrsnd_ecc::expand::ExpansionCode;
 use jrsnd_sim::faults::FaultInjector;
@@ -29,6 +32,14 @@ pub struct DndpConfig {
     /// The "intelligent attack": the jammer deliberately spares HELLOs and
     /// targets only the three later messages.
     pub tail_only_attack: bool,
+    /// Which wire codec frames the HELLO for the coded-airtime accounting
+    /// (`dndp.coded_hello_bits`). `Legacy` keeps the Table-I fixed-width
+    /// frame; `Packed` uses the [`crate::wire`] frame of the canonical
+    /// `NodeId(1)` initiator — the same identity the chip drivers speak
+    /// as — which is less than half the legacy size. Outcomes are
+    /// untouched either way: the probabilistic model below never reads
+    /// frame contents.
+    pub wire_format: WireFormat,
 }
 
 impl Default for DndpConfig {
@@ -36,6 +47,7 @@ impl Default for DndpConfig {
         DndpConfig {
             redundancy: true,
             tail_only_attack: false,
+            wire_format: WireFormat::Legacy,
         }
     }
 }
@@ -84,12 +96,20 @@ pub fn simulate_pair_with(
         };
     }
     metric_counter!("dndp.hellos_sent").add(x as u64);
-    // Coded-airtime accounting: each HELLO copy is l_t + l_id bits expanded
-    // through the (1+mu) ECC. Pure arithmetic via the codec's layout — the
-    // probabilistic model below never touches the RNG for this.
-    if let Ok(layout) =
-        ExpansionCode::new(params.mu).and_then(|c| c.layout(params.l_t + params.l_id))
-    {
+    // Coded-airtime accounting: each HELLO copy is the frame's message
+    // bits expanded through the (1+mu) ECC — l_t + l_id on the legacy
+    // wire, the canonical NodeId(1) packed frame otherwise. Pure
+    // arithmetic via the codec's layout — the probabilistic model below
+    // never touches the RNG for this.
+    let hello_msg_bits = match config.wire_format {
+        WireFormat::Legacy => params.l_t + params.l_id,
+        WireFormat::Packed => wire::packed_hello_bits(
+            &WireConfig::from_params(params),
+            MessageKind::Hello,
+            NodeId(1),
+        ),
+    };
+    if let Ok(layout) = ExpansionCode::new(params.mu).and_then(|c| c.layout(hello_msg_bits)) {
         metric_counter!("dndp.coded_hello_bits").add((x * layout.coded_bits()) as u64);
     }
 
@@ -338,6 +358,35 @@ mod tests {
     }
 
     #[test]
+    fn packed_wire_format_shrinks_hello_airtime_without_touching_outcomes() {
+        let p = Params::table1();
+        // The accounting input: the canonical packed HELLO is well under
+        // half the legacy l_t + l_id frame.
+        let packed_bits =
+            wire::packed_hello_bits(&WireConfig::from_params(&p), MessageKind::Hello, NodeId(1));
+        assert!(
+            2 * packed_bits < p.l_t + p.l_id,
+            "packed {} vs legacy {} hello bits",
+            packed_bits,
+            p.l_t + p.l_id
+        );
+        // And the knob is pure accounting: same seed, identical outcomes.
+        let j = reactive(&[1], &p);
+        let shared = codes(&[1, 2]);
+        let packed_cfg = DndpConfig {
+            wire_format: WireFormat::Packed,
+            ..DndpConfig::default()
+        };
+        for seed in 0..50u64 {
+            let mut rng_a = SimRng::seed_from_u64(seed);
+            let mut rng_b = SimRng::seed_from_u64(seed);
+            let legacy = simulate_pair_with(&p, &shared, &j, DndpConfig::default(), &mut rng_a);
+            let packed = simulate_pair_with(&p, &shared, &j, packed_cfg, &mut rng_b);
+            assert_eq!(legacy, packed, "seed {seed}");
+        }
+    }
+
+    #[test]
     fn redundancy_defeats_tail_only_attack() {
         // x = 2 shared codes, one compromised. The intelligent attacker
         // spares HELLOs and reactively jams tails of compromised codes.
@@ -347,10 +396,12 @@ mod tests {
         let attack = DndpConfig {
             redundancy: true,
             tail_only_attack: true,
+            ..DndpConfig::default()
         };
         let strawman = DndpConfig {
             redundancy: false,
             tail_only_attack: true,
+            ..DndpConfig::default()
         };
         let mut rng = SimRng::seed_from_u64(4);
         let trials = 4000;

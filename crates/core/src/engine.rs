@@ -54,8 +54,9 @@ use crate::chiplink::{
     Stage,
 };
 use crate::handshake::{Established, Initiator, Responder};
-use crate::messages::{FrameCodec, WireConfig};
+use crate::messages::{FrameCodec, MessageKind, WireConfig};
 use crate::params::Params;
+use crate::wire::WireFormat;
 use jrsnd_crypto::ibc::{Authority, NodeId};
 use jrsnd_crypto::session::SessionCodeCache;
 use jrsnd_dsss::code::{CodeId, SpreadCode};
@@ -170,6 +171,12 @@ pub struct EngineConfig {
     /// Worker threads; `None` resolves `JRSND_THREADS` then available
     /// parallelism. Clamped to `[1, shards]`.
     pub threads: Option<usize>,
+    /// Wire codec every session's frames run through. `Legacy` (the
+    /// default) keeps all committed outputs byte-identical; `Packed`
+    /// switches to the [`crate::wire`] format — unlike the other knobs it
+    /// changes the bits on the air (shorter frames), though outcomes on a
+    /// clean channel are unaffected.
+    pub format: WireFormat,
 }
 
 impl Default for EngineConfig {
@@ -179,6 +186,7 @@ impl Default for EngineConfig {
             shards: 16,
             retry: RetryPolicy::none(),
             threads: None,
+            format: WireFormat::Legacy,
         }
     }
 }
@@ -530,6 +538,11 @@ impl<'p> BatchEngine<'p> {
         let mut decoded: Vec<bool> = Vec::new();
         let mut coded_buf: Vec<bool> = Vec::new();
         let mut hello_decoded: Vec<bool> = Vec::new();
+        // Packed-path HELLO staging: the frame is rendered through the
+        // codec's pooled wire scratch into this shard-pooled buffer, so a
+        // warm packed pass allocates nothing per session.
+        let mut hello_frame_buf: Vec<bool> = Vec::new();
+        let format = self.config.format;
         let mut frame = Frame {
             bits: Vec::new(),
             erased: Vec::new(),
@@ -561,15 +574,48 @@ impl<'p> BatchEngine<'p> {
                     s.attempt_seed =
                         s.leg_seed ^ u64::from(s.attempt - 1).wrapping_mul(ATTEMPT_SALT);
                     s.rng = SimRng::seed_from_u64(s.attempt_seed);
-                    let initiator =
-                        Initiator::new(self.authority.issue(NodeId(1)), wire, n, &mut s.rng);
-                    let responder =
-                        Responder::new(self.authority.issue(NodeId(2)), wire, n, 256, &mut s.rng);
-                    let hello_bits = initiator.hello_frame();
-                    hello_bits_len = hello_bits.len();
-                    codec
-                        .encode_into(&hello_bits, &mut hello_coded)
-                        .expect("non-empty");
+                    let initiator = Initiator::new_with_format(
+                        self.authority.issue(NodeId(1)),
+                        wire,
+                        format,
+                        n,
+                        &mut s.rng,
+                    );
+                    let responder = Responder::new_with_format(
+                        self.authority.issue(NodeId(2)),
+                        wire,
+                        format,
+                        n,
+                        256,
+                        &mut s.rng,
+                    );
+                    match format {
+                        WireFormat::Legacy => {
+                            let hello_bits = initiator.hello_frame();
+                            hello_bits_len = hello_bits.len();
+                            codec
+                                .encode_into(&hello_bits, &mut hello_coded)
+                                .expect("non-empty");
+                        }
+                        WireFormat::Packed => {
+                            // Every engine session speaks as NodeId(1), so
+                            // the packed HELLO is one shared frame rendered
+                            // through the codec's pooled wire scratch —
+                            // no per-session Vec, no allocation when warm.
+                            codec
+                                .hello_packed(
+                                    &wire,
+                                    MessageKind::Hello,
+                                    NodeId(1),
+                                    &mut hello_frame_buf,
+                                )
+                                .expect("own id fits");
+                            hello_bits_len = hello_frame_buf.len();
+                            codec
+                                .encode_into(&hello_frame_buf, &mut hello_coded)
+                                .expect("non-empty");
+                        }
+                    }
                     s.initiator = Some(initiator);
                     s.responder = Some(responder);
                     a_refs.clear();
@@ -793,7 +839,6 @@ impl<'p> BatchEngine<'p> {
 /// byte-identical to this at every session mix.
 pub mod reference {
     use super::*;
-    use crate::chiplink::run_handshake_resilient;
 
     #[allow(clippy::too_many_arguments)]
     fn run_leg(
@@ -809,11 +854,12 @@ pub mod reference {
         seed: u64,
         codec: &mut FrameCodec,
         cache: &mut SessionCodeCache,
+        format: WireFormat,
     ) -> SessionOutcome {
         let a: Vec<SpreadCode> = a_idx.iter().map(|&k| pool[k].clone()).collect();
         let b: Vec<SpreadCode> = b_idx.iter().map(|&k| pool[k].clone()).collect();
         let jammer = jam.map(|j| j.instantiate(pool));
-        let r = run_handshake_resilient(
+        let r = crate::chiplink::run_handshake_resilient_fmt(
             params,
             authority,
             &a,
@@ -826,6 +872,7 @@ pub mod reference {
             Some(cache),
             None,
             retry,
+            format,
         );
         SessionOutcome {
             report: r.report,
@@ -843,6 +890,19 @@ pub mod reference {
         pool: &[SpreadCode],
         retry: &RetryPolicy,
         specs: &[SessionSpec],
+    ) -> Vec<SessionOutcome> {
+        run_sessions_fmt(params, authority, pool, retry, specs, WireFormat::Legacy)
+    }
+
+    /// [`run_sessions`] with an explicit [`WireFormat`] — the sequential
+    /// oracle for format-parameterised engine runs.
+    pub fn run_sessions_fmt(
+        params: &Params,
+        authority: &Authority,
+        pool: &[SpreadCode],
+        retry: &RetryPolicy,
+        specs: &[SessionSpec],
+        format: WireFormat,
     ) -> Vec<SessionOutcome> {
         let mut codec = FrameCodec::new(params.mu).expect("mu validated");
         let mut cache = SessionCodeCache::new(1024);
@@ -870,6 +930,7 @@ pub mod reference {
                     spec.seed,
                     &mut codec,
                     &mut cache,
+                    format,
                 );
                 match &spec.kind {
                     SessionKind::Direct => leg1,
@@ -894,6 +955,7 @@ pub mod reference {
                                 spec.seed ^ MNDP_LEG2_SALT,
                                 &mut codec,
                                 &mut cache,
+                                format,
                             );
                             super::merge_mndp_legs(leg1, leg2)
                         }
@@ -993,6 +1055,7 @@ mod tests {
                 shards: 3,
                 retry,
                 threads: Some(1),
+                format: WireFormat::Legacy,
             };
             let engine = BatchEngine::new(&params, &authority, &pool, config);
             let got = engine.run(&specs);
@@ -1007,6 +1070,47 @@ mod tests {
     }
 
     #[test]
+    fn packed_engine_matches_the_packed_sequential_reference() {
+        let params = chip_params();
+        let authority = Authority::from_seed(b"engine");
+        let pool = pool(11, 8, params.n_chips);
+        let specs = mixed_specs();
+        let retry = RetryPolicy::budgeted(1);
+        let config = EngineConfig {
+            chunk: 2,
+            shards: 3,
+            retry,
+            threads: Some(1),
+            format: WireFormat::Packed,
+        };
+        let engine = BatchEngine::new(&params, &authority, &pool, config);
+        let got = engine.run(&specs);
+        let want = reference::run_sessions_fmt(
+            &params,
+            &authority,
+            &pool,
+            &retry,
+            &specs,
+            WireFormat::Packed,
+        );
+        assert_eq!(got, want, "packed engine == packed sequential oracle");
+        assert!(got[0].report.discovered, "clean packed session discovers");
+        assert!(
+            !got[2].report.discovered,
+            "full same-code jam still kills it"
+        );
+        assert!(got[3].report.discovered, "packed M-NDP legs complete");
+        // Airtime win: the packed HELLO round scans strictly fewer chips.
+        let legacy = reference::run_sessions(&params, &authority, &pool, &retry, &specs);
+        assert!(
+            got[0].report.scan_correlations < legacy[0].report.scan_correlations,
+            "packed {} vs legacy {} scan correlations",
+            got[0].report.scan_correlations,
+            legacy[0].report.scan_correlations
+        );
+    }
+
+    #[test]
     fn outcomes_are_invariant_under_worker_count_and_chunking() {
         let params = chip_params();
         let authority = Authority::from_seed(b"engine");
@@ -1018,6 +1122,7 @@ mod tests {
                 shards,
                 retry: RetryPolicy::budgeted(1),
                 threads: Some(threads),
+                format: WireFormat::Legacy,
             };
             BatchEngine::new(&params, &authority, &pool, config).run(&specs)
         };

@@ -27,9 +27,11 @@
 //! `C_AB`.
 
 use crate::messages::{MessageKind, WireConfig};
+use crate::wire::{self, WireFormat};
 use jrsnd_crypto::hmac::HmacKey;
 use jrsnd_crypto::ibc::{IdPrivateKey, NodeId, SharedKey};
 use jrsnd_crypto::mac::auth_tag_keyed;
+use jrsnd_crypto::mac::AuthTag;
 use jrsnd_crypto::nonce::Nonce;
 use jrsnd_crypto::replay::ReplayGuard;
 use jrsnd_crypto::session::{derive_session_code_with, SessionCodeCache};
@@ -80,6 +82,85 @@ impl fmt::Display for HandshakeError {
 
 impl std::error::Error for HandshakeError {}
 
+/// A received MAC in whichever representation the active wire format
+/// parses it to: the legacy codec yields the truncated tag as bits, the
+/// packed codec as a single integer.
+enum ParsedMac {
+    Legacy(Vec<bool>),
+    Packed(u64),
+}
+
+/// Format-dispatched HELLO/CONFIRM encode (shared by both endpoints).
+fn encode_hello_any(
+    cfg: &WireConfig,
+    format: WireFormat,
+    kind: MessageKind,
+    id: NodeId,
+) -> Vec<bool> {
+    match format {
+        WireFormat::Legacy => cfg.encode_hello(kind, id).expect("own id fits l_id"),
+        WireFormat::Packed => wire::hello_frame_bools(cfg, kind, id).expect("own id fits l_id"),
+    }
+}
+
+/// Format-dispatched HELLO/CONFIRM decode.
+fn decode_hello_any(
+    cfg: &WireConfig,
+    format: WireFormat,
+    bits: &[bool],
+) -> Result<(MessageKind, NodeId), HandshakeError> {
+    match format {
+        WireFormat::Legacy => cfg
+            .decode_hello(bits)
+            .map_err(|_| HandshakeError::Malformed),
+        WireFormat::Packed => {
+            wire::parse_hello_bools(cfg, bits).map_err(|_| HandshakeError::Malformed)
+        }
+    }
+}
+
+/// Format-dispatched AUTH encode.
+fn encode_auth_any(
+    cfg: &WireConfig,
+    format: WireFormat,
+    id: NodeId,
+    nonce: Nonce,
+    tag: &AuthTag,
+) -> Vec<bool> {
+    match format {
+        WireFormat::Legacy => cfg.encode_auth(id, nonce, tag).expect("fields fit"),
+        WireFormat::Packed => wire::auth_frame_bools(cfg, id, nonce, tag).expect("fields fit"),
+    }
+}
+
+/// Format-dispatched AUTH decode.
+fn decode_auth_any(
+    cfg: &WireConfig,
+    format: WireFormat,
+    bits: &[bool],
+) -> Result<(NodeId, Nonce, ParsedMac), HandshakeError> {
+    match format {
+        WireFormat::Legacy => cfg
+            .decode_auth(bits)
+            .map(|(id, n, tag_bits)| (id, n, ParsedMac::Legacy(tag_bits)))
+            .map_err(|_| HandshakeError::Malformed),
+        WireFormat::Packed => wire::parse_auth_bools(cfg, bits)
+            .map(|(id, n, mac)| (id, n, ParsedMac::Packed(mac)))
+            .map_err(|_| HandshakeError::Malformed),
+    }
+}
+
+/// Whether a received MAC matches the locally computed tag, in whichever
+/// representation it was parsed. The packed side is an integer compare
+/// against the identical truncated bit pattern (see
+/// [`wire::truncated_tag_value`]).
+fn mac_matches(cfg: &WireConfig, received: &ParsedMac, local: &AuthTag) -> bool {
+    match received {
+        ParsedMac::Legacy(bits) => cfg.tag_matches(bits, local),
+        ParsedMac::Packed(mac) => wire::truncated_tag_value(cfg, local).is_ok_and(|v| v == *mac),
+    }
+}
+
 /// A completed handshake: the authenticated peer and the shared session
 /// spread code.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,6 +186,7 @@ enum InitiatorState {
 pub struct Initiator {
     key: IdPrivateKey,
     wire: WireConfig,
+    format: WireFormat,
     n_chips: usize,
     nonce: Nonce,
     state: InitiatorState,
@@ -117,12 +199,27 @@ pub struct Initiator {
 }
 
 impl Initiator {
-    /// Creates an initiator; `rng` draws the replay nonce `n_A`.
+    /// Creates an initiator on the legacy wire format; `rng` draws the
+    /// replay nonce `n_A`.
     pub fn new(key: IdPrivateKey, wire: WireConfig, n_chips: usize, rng: &mut SimRng) -> Self {
+        Self::new_with_format(key, wire, WireFormat::Legacy, n_chips, rng)
+    }
+
+    /// Creates an initiator speaking the given [`WireFormat`]. Draws the
+    /// same RNG state as [`Initiator::new`], so switching formats never
+    /// perturbs a seeded simulation's nonce sequence.
+    pub fn new_with_format(
+        key: IdPrivateKey,
+        wire: WireConfig,
+        format: WireFormat,
+        n_chips: usize,
+        rng: &mut SimRng,
+    ) -> Self {
         let nonce = Nonce::random(rng, wire.l_n as u32);
         Initiator {
             key,
             wire,
+            format,
             n_chips,
             nonce,
             state: InitiatorState::AwaitConfirm,
@@ -140,9 +237,7 @@ impl Initiator {
     /// Panics if the node id exceeds `l_id` bits (checked at issue time in
     /// practice).
     pub fn hello_frame(&self) -> Vec<bool> {
-        self.wire
-            .encode_hello(MessageKind::Hello, self.key.id())
-            .expect("own id fits l_id")
+        encode_hello_any(&self.wire, self.format, MessageKind::Hello, self.key.id())
     }
 
     /// Handles B's CONFIRM (decoded bits) heard on `code`; returns the
@@ -155,9 +250,8 @@ impl Initiator {
         if self.state != InitiatorState::AwaitConfirm {
             return Err(self.fail_state());
         }
-        let (kind, peer) = self.wire.decode_hello(bits).map_err(|_| {
+        let (kind, peer) = decode_hello_any(&self.wire, self.format, bits).inspect_err(|_| {
             self.state = InitiatorState::Failed;
-            HandshakeError::Malformed
         })?;
         if kind != MessageKind::Confirm || peer == self.key.id() {
             self.state = InitiatorState::Failed;
@@ -169,10 +263,7 @@ impl Initiator {
         let hk = HmacKey::precompute(k_ab.as_bytes());
         let tag = auth_tag_keyed(&hk, self.key.id(), self.nonce);
         self.pair = Some((k_ab, hk));
-        let frame = self
-            .wire
-            .encode_auth(self.key.id(), self.nonce, &tag)
-            .expect("fields fit");
+        let frame = encode_auth_any(&self.wire, self.format, self.key.id(), self.nonce, &tag);
         self.state = InitiatorState::AwaitAuthB;
         Ok(frame)
     }
@@ -209,19 +300,16 @@ impl Initiator {
         if self.state != InitiatorState::AwaitAuthB {
             return Err(self.fail_state());
         }
-        let (peer, n_b, tag_bits) = self.wire.decode_auth(bits).map_err(|_| {
-            self.state = InitiatorState::Failed;
-            HandshakeError::Malformed
-        })?;
+        let (peer, n_b, mac) =
+            decode_auth_any(&self.wire, self.format, bits).inspect_err(|_| {
+                self.state = InitiatorState::Failed;
+            })?;
         if Some(peer) != self.peer {
             self.state = InitiatorState::Failed;
             return Err(HandshakeError::PeerMismatch);
         }
         let (k_ab, hk) = self.pair.as_ref().expect("pair key set on CONFIRM");
-        if !self
-            .wire
-            .tag_matches(&tag_bits, &auth_tag_keyed(hk, peer, n_b))
-        {
+        if !mac_matches(&self.wire, &mac, &auth_tag_keyed(hk, peer, n_b)) {
             self.state = InitiatorState::Failed;
             return Err(HandshakeError::BadTag { claimed: peer });
         }
@@ -278,6 +366,7 @@ enum ResponderState {
 pub struct Responder {
     key: IdPrivateKey,
     wire: WireConfig,
+    format: WireFormat,
     n_chips: usize,
     nonce: Nonce,
     state: ResponderState,
@@ -304,10 +393,28 @@ impl Responder {
         replay_capacity: usize,
         rng: &mut SimRng,
     ) -> Self {
+        Self::new_with_format(key, wire, WireFormat::Legacy, n_chips, replay_capacity, rng)
+    }
+
+    /// Creates a responder speaking the given [`WireFormat`]; same RNG
+    /// draws as [`Responder::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replay_capacity` is zero.
+    pub fn new_with_format(
+        key: IdPrivateKey,
+        wire: WireConfig,
+        format: WireFormat,
+        n_chips: usize,
+        replay_capacity: usize,
+        rng: &mut SimRng,
+    ) -> Self {
         let nonce = Nonce::random(rng, wire.l_n as u32);
         Responder {
             key,
             wire,
+            format,
             n_chips,
             nonce,
             state: ResponderState::AwaitHello,
@@ -328,10 +435,7 @@ impl Responder {
         if self.state != ResponderState::AwaitHello {
             return Err(self.fail_state());
         }
-        let (kind, peer) = self
-            .wire
-            .decode_hello(bits)
-            .map_err(|_| HandshakeError::Malformed)?;
+        let (kind, peer) = decode_hello_any(&self.wire, self.format, bits)?;
         if kind != MessageKind::Hello || peer == self.key.id() {
             return Err(HandshakeError::Malformed);
         }
@@ -341,10 +445,12 @@ impl Responder {
         let hk = HmacKey::precompute(k_ba.as_bytes());
         self.pair = Some((k_ba, hk));
         self.state = ResponderState::AwaitAuthA;
-        Ok(self
-            .wire
-            .encode_hello(MessageKind::Confirm, self.key.id())
-            .expect("own id fits"))
+        Ok(encode_hello_any(
+            &self.wire,
+            self.format,
+            MessageKind::Confirm,
+            self.key.id(),
+        ))
     }
 
     /// Handles A's AUTH_A; on success returns the AUTH_B frame plus the
@@ -381,19 +487,16 @@ impl Responder {
         if self.state != ResponderState::AwaitAuthA {
             return Err(self.fail_state());
         }
-        let (peer, n_a, tag_bits) = self.wire.decode_auth(bits).map_err(|_| {
-            self.state = ResponderState::Failed;
-            HandshakeError::Malformed
-        })?;
+        let (peer, n_a, mac) =
+            decode_auth_any(&self.wire, self.format, bits).inspect_err(|_| {
+                self.state = ResponderState::Failed;
+            })?;
         if Some(peer) != self.peer {
             self.state = ResponderState::Failed;
             return Err(HandshakeError::PeerMismatch);
         }
         let (k_ba, hk) = self.pair.as_ref().expect("pair key set on HELLO");
-        if !self
-            .wire
-            .tag_matches(&tag_bits, &auth_tag_keyed(hk, peer, n_a))
-        {
+        if !mac_matches(&self.wire, &mac, &auth_tag_keyed(hk, peer, n_a)) {
             self.state = ResponderState::Failed;
             return Err(HandshakeError::BadTag { claimed: peer });
         }
@@ -403,10 +506,7 @@ impl Responder {
             return Err(HandshakeError::Replayed { peer });
         }
         let tag_b = auth_tag_keyed(hk, self.key.id(), self.nonce);
-        let frame = self
-            .wire
-            .encode_auth(self.key.id(), self.nonce, &tag_b)
-            .expect("fields fit");
+        let frame = encode_auth_any(&self.wire, self.format, self.key.id(), self.nonce, &tag_b);
         self.state = ResponderState::Done;
         let session_code = match cache {
             Some(cache) => cache
@@ -516,6 +616,70 @@ mod tests {
         assert_eq!(est_a.session_code, plain_a.session_code);
         assert_eq!(est_b.session_code, plain_b.session_code);
         assert_eq!(est_a.session_code, est_b.session_code);
+    }
+
+    #[test]
+    fn packed_format_completes_with_shorter_frames() {
+        let params = Params::table1();
+        let wire = WireConfig::from_params(&params);
+        let authority = Authority::from_seed(b"handshake");
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut a = Initiator::new_with_format(
+            authority.issue(NodeId(1)),
+            wire,
+            WireFormat::Packed,
+            params.n_chips,
+            &mut rng,
+        );
+        let mut b = Responder::new_with_format(
+            authority.issue(NodeId(2)),
+            wire,
+            WireFormat::Packed,
+            params.n_chips,
+            64,
+            &mut rng,
+        );
+        let code = CodeId(7);
+        let hello = a.hello_frame();
+        assert!(
+            hello.len() < wire.hello_bits(),
+            "packed hello saves airtime"
+        );
+        let confirm = b.on_hello(&hello, code).unwrap();
+        let auth_a = a.on_confirm(&confirm, code).unwrap();
+        assert!(auth_a.len() < wire.auth_bits(), "packed auth saves airtime");
+        let (auth_b, est_b) = b.on_auth_a(&auth_a).unwrap();
+        let est_a = a.on_auth_b(&auth_b).unwrap();
+        assert!(a.is_done() && b.is_done());
+        assert_eq!(est_a.session_code, est_b.session_code);
+        // Same seed on the legacy path: identical nonce draws, so the
+        // session code agrees bit for bit across formats.
+        let (legacy_a, _) = run_clean(1);
+        assert_eq!(est_a.session_code, legacy_a.session_code);
+        // And a packed AUTH with a flipped MAC bit still fails closed.
+        let mut b2 = Responder::new_with_format(
+            authority.issue(NodeId(3)),
+            wire,
+            WireFormat::Packed,
+            params.n_chips,
+            64,
+            &mut rng,
+        );
+        let mut a2 = Initiator::new_with_format(
+            authority.issue(NodeId(1)),
+            wire,
+            WireFormat::Packed,
+            params.n_chips,
+            &mut rng,
+        );
+        let confirm2 = b2.on_hello(&a2.hello_frame(), code).unwrap();
+        let mut auth2 = a2.on_confirm(&confirm2, code).unwrap();
+        let idx = auth2.len() - 1;
+        auth2[idx] = !auth2[idx];
+        assert!(matches!(
+            b2.on_auth_a(&auth2),
+            Err(HandshakeError::BadTag { claimed: NodeId(1) })
+        ));
     }
 
     #[test]

@@ -75,6 +75,7 @@ pub mod revocation;
 pub mod scale;
 pub mod schedule_sim;
 pub mod timeline;
+pub mod wire;
 
 pub use decode::DecodeError;
 pub use deployment::{Deployment, ProvisionedNode};

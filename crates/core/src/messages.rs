@@ -26,6 +26,9 @@ use std::fmt;
 pub struct FrameCodec {
     code: ExpansionCode,
     scratch: ExpansionScratch,
+    /// Pooled packed-wire encode buffer (see [`crate::wire`]); warm
+    /// packed encodes through this codec allocate nothing.
+    wire_enc: crate::wire::PackedBits,
 }
 
 impl FrameCodec {
@@ -38,6 +41,7 @@ impl FrameCodec {
         Ok(FrameCodec {
             code: ExpansionCode::new(mu)?,
             scratch: ExpansionScratch::new(),
+            wire_enc: crate::wire::PackedBits::new(),
         })
     }
 
@@ -71,6 +75,27 @@ impl FrameCodec {
     ) -> Result<(), ExpandError> {
         self.code
             .decode_bits_into(coded, erased, msg_bits, &mut self.scratch, out)
+    }
+
+    /// Packed-format HELLO/CONFIRM encode through the codec's pooled wire
+    /// scratch: renders the [`crate::wire`] frame into `out` (cleared
+    /// first) as the `bool` stream the spreader consumes. Warm calls make
+    /// zero allocations — the packed words live in the codec, and `out`
+    /// is a pooled driver buffer.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::wire::encode_hello`].
+    pub fn hello_packed(
+        &mut self,
+        cfg: &WireConfig,
+        kind: MessageKind,
+        id: NodeId,
+        out: &mut Vec<bool>,
+    ) -> Result<(), WireError> {
+        crate::wire::encode_hello(cfg, kind, id, &mut self.wire_enc)?;
+        self.wire_enc.write_bools_into(out);
+        Ok(())
     }
 }
 
@@ -605,6 +630,21 @@ impl MndpResponse {
         }
         bits
     }
+}
+
+/// The legacy fixed-width codec under its oracle name.
+///
+/// The packed format in [`crate::wire`] is the hot-path codec; this
+/// module re-exports the original `Vec<bool>` implementation as the
+/// *reference* against which the packed codec is proptest-equivalence
+/// checked (identical decoded structures for every message) and
+/// benchmarked (`wire/fast/*` vs `wire/reference/*` in BENCH_wire.json).
+/// It is not deprecated: it remains the default [`crate::wire::WireFormat`]
+/// so that all committed experiment outputs stay byte-identical.
+pub mod reference {
+    pub use super::{
+        ChainEntry, FrameCodec, MessageKind, MndpRequest, MndpResponse, WireConfig, WireError,
+    };
 }
 
 #[cfg(test)]

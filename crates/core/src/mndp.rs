@@ -340,6 +340,31 @@ pub fn closing_code_bank_cached(
         .collect()
 }
 
+/// Builds the closing-HELLO frame the responder spreads with `C_BA` to
+/// conclude an M-NDP discovery, in the given [`crate::wire::WireFormat`]:
+/// the same HELLO layout D-NDP broadcasts, carried here over the secret
+/// session code. On the packed wire the frame is identity-proportional
+/// (a small id costs 10 bits instead of the fixed legacy 21), shrinking
+/// the closing transmission's jamming exposure window.
+///
+/// # Errors
+///
+/// [`crate::messages::WireError::FieldOverflow`] when `id` exceeds the
+/// config's `l_id` bits.
+pub fn closing_hello_frame(
+    wire_cfg: &crate::messages::WireConfig,
+    format: crate::wire::WireFormat,
+    id: NodeId,
+) -> Result<Vec<bool>, crate::messages::WireError> {
+    use crate::messages::MessageKind;
+    match format {
+        crate::wire::WireFormat::Legacy => wire_cfg.encode_hello(MessageKind::Hello, id),
+        crate::wire::WireFormat::Packed => {
+            crate::wire::hello_frame_bools(wire_cfg, MessageKind::Hello, id)
+        }
+    }
+}
+
 /// Chip-level check of the closing HELLO (Section V-C, final step): the
 /// responder transmits `{HELLO}_{C_BA}` spread with the freshly derived
 /// session code, and the source listens with a *receiver bank* over every
@@ -770,6 +795,54 @@ mod tests {
             &mut codec,
         );
         assert_eq!(again, Ok(Some(2)));
+    }
+
+    #[test]
+    fn packed_closing_hello_is_shorter_and_still_heard() {
+        use crate::messages::{FrameCodec, WireConfig};
+        use crate::wire::WireFormat;
+        use jrsnd_dsss::code::SpreadCode;
+        use rand::SeedableRng;
+        let cfg = WireConfig::from_params(&crate::params::Params::default());
+        let legacy = closing_hello_frame(&cfg, WireFormat::Legacy, NodeId(5)).expect("id fits");
+        let packed = closing_hello_frame(&cfg, WireFormat::Packed, NodeId(5)).expect("id fits");
+        assert!(
+            packed.len() < legacy.len(),
+            "packed closing HELLO ({}) should beat legacy ({})",
+            packed.len(),
+            legacy.len()
+        );
+        // The packed frame survives the full coded chip-level path.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let codes: Vec<SpreadCode> = (0..4).map(|_| SpreadCode::random(512, &mut rng)).collect();
+        let refs: Vec<&SpreadCode> = codes.iter().collect();
+        let mut codec = FrameCodec::new(1.0).expect("valid mu");
+        let heard = closing_hello_heard_coded(
+            &packed,
+            &codes[2],
+            &refs,
+            Some(1),
+            0.02,
+            17,
+            0.15,
+            &mut codec,
+        );
+        assert_eq!(heard, Ok(Some(2)));
+        // A bank that is not waiting for this session misses it.
+        let bank3: Vec<&SpreadCode> = codes[..3].iter().collect();
+        assert_eq!(
+            closing_hello_heard_coded(
+                &packed,
+                &codes[3],
+                &bank3,
+                Some(1),
+                0.02,
+                18,
+                0.15,
+                &mut codec
+            ),
+            Ok(None)
+        );
     }
 
     #[test]

@@ -210,3 +210,87 @@ fn warm_shared_scan_pass_makes_zero_allocations() {
         LAST_SIZE.load(Ordering::SeqCst)
     );
 }
+
+/// The packed wire datapath the batch engine runs per session — pooled
+/// TLV encode ([`FrameCodec::hello_packed`]), ECC encode, and the
+/// stack-buffer parsers on the receive side — is allocation-free once the
+/// pooled buffers are warm, exactly like the `Vec<bool>` legacy path it
+/// replaces.
+#[test]
+fn warm_packed_wire_datapath_makes_zero_allocations() {
+    use jrsnd::messages::MessageKind;
+    use jrsnd::wire;
+    use jrsnd_crypto::ibc::NodeId;
+
+    let params = Params::table1();
+    let w = WireConfig::from_params(&params);
+    let mut codec = FrameCodec::new(params.mu).expect("mu validated");
+    // Pooled per-shard buffers, as in `BatchEngine::run_shard`.
+    let mut hello_frame_buf: Vec<bool> = Vec::new();
+    let mut hello_coded: Vec<bool> = Vec::new();
+    // Receive-side fixtures built once, cold: the parsers themselves go
+    // through a stack frame buffer and must not touch the heap.
+    let auth_frame = wire::auth_frame_bools(
+        &w,
+        NodeId(2),
+        jrsnd_crypto::nonce::Nonce::from_value(0xBEEF),
+        &{ jrsnd_crypto::mac::AuthTag([0x5A; 32]) },
+    )
+    .expect("auth frame encodes");
+
+    #[allow(clippy::too_many_arguments)]
+    fn packed_pass(
+        w: &WireConfig,
+        codec: &mut FrameCodec,
+        hello_frame_buf: &mut Vec<bool>,
+        hello_coded: &mut Vec<bool>,
+        auth_frame: &[bool],
+    ) {
+        codec
+            .hello_packed(w, MessageKind::Hello, NodeId(1), hello_frame_buf)
+            .expect("own id fits");
+        codec
+            .encode_into(hello_frame_buf, hello_coded)
+            .expect("non-empty frame");
+        let (kind, id) = wire::parse_hello_bools(w, hello_frame_buf).expect("clean frame");
+        assert_eq!((kind, id), (MessageKind::Hello, NodeId(1)));
+        let (id, nonce, mac) = wire::parse_auth_bools(w, auth_frame).expect("clean frame");
+        assert_eq!((id.0, nonce.value()), (2, 0xBEEF));
+        assert_eq!(
+            mac,
+            wire::truncated_tag_value(w, &jrsnd_crypto::mac::AuthTag([0x5A; 32]))
+                .expect("l_mac fits u64")
+        );
+    }
+
+    // Warm twice: first pass sizes the pooled buffers, second hits the
+    // lazy metric-handle registrations (`wire.bytes_encoded`,
+    // `wire.frames_parsed`, `wire.scratch_reused`) that allocate once.
+    for _ in 0..2 {
+        packed_pass(
+            &w,
+            &mut codec,
+            &mut hello_frame_buf,
+            &mut hello_coded,
+            &auth_frame,
+        );
+    }
+
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    packed_pass(
+        &w,
+        &mut codec,
+        &mut hello_frame_buf,
+        &mut hello_coded,
+        &auth_frame,
+    );
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs,
+        0,
+        "warm packed wire datapath allocated {allocs} times (last size {})",
+        LAST_SIZE.load(Ordering::SeqCst)
+    );
+}

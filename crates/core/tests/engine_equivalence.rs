@@ -129,7 +129,8 @@ proptest! {
         };
         let want = reference::run_sessions(&params, &authority, &pool, &retry, &specs);
         for threads in [1usize, 2] {
-            let config = EngineConfig { chunk, shards, retry, threads: Some(threads) };
+            let config =
+                EngineConfig { chunk, shards, retry, threads: Some(threads), ..EngineConfig::default() };
             let engine = BatchEngine::new(&params, &authority, &pool, config);
             let got = engine.run(&specs);
             prop_assert_eq!(&got, &want, "threads = {}", threads);

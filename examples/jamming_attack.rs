@@ -61,10 +61,12 @@ fn main() {
     let attack_redundant = DndpConfig {
         redundancy: true,
         tail_only_attack: true,
+        ..DndpConfig::default()
     };
     let attack_strawman = DndpConfig {
         redundancy: false,
         tail_only_attack: true,
+        ..DndpConfig::default()
     };
     println!(
         "{:>4}  {:>22} {:>22}",

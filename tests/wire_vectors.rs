@@ -1,0 +1,215 @@
+//! Golden wire vectors: the packed TLV frames (and the legacy reference
+//! frames they replace) are byte-frozen under `tests/vectors/`. Any change
+//! to the bit layout — field order, varint grouping, TLV tags — breaks
+//! these tests, forcing a deliberate format-version decision instead of a
+//! silent on-air incompatibility (see the versioning policy in
+//! `crates/core/src/wire.rs`).
+//!
+//! Vector file format: `[u32 LE bit length][payload]`, payload being the
+//! frame's `PackedBits::to_bytes()` (LSB-first within each byte). To
+//! regenerate after an intentional format bump:
+//! `JRSND_WIRE_REGEN=1 cargo test --test wire_vectors` — CI diffs the
+//! regenerated files against the committed ones and fails on drift.
+
+use jr_snd::core::messages::{ChainEntry, MessageKind, MndpRequest, MndpResponse, WireConfig};
+use jr_snd::core::params::Params;
+use jr_snd::core::wire::{
+    encode_auth, encode_hello, encode_request, encode_response, parse_auth, parse_hello,
+    parse_request, parse_response, truncated_tag_value, BitCursor, PackedBits,
+};
+use jr_snd::crypto::ibc::{IbSignature, NodeId};
+use jr_snd::crypto::mac::AuthTag;
+use jr_snd::crypto::nonce::Nonce;
+use std::path::PathBuf;
+
+fn cfg() -> WireConfig {
+    WireConfig::from_params(&Params::table1())
+}
+
+fn vector_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/vectors")
+        .join(format!("{name}.bin"))
+}
+
+fn serialize(bits: &PackedBits) -> Vec<u8> {
+    let mut out = (u32::try_from(bits.len()).expect("frame fits u32"))
+        .to_le_bytes()
+        .to_vec();
+    out.extend_from_slice(&bits.to_bytes());
+    out
+}
+
+fn deserialize(bytes: &[u8]) -> PackedBits {
+    let (head, payload) = bytes.split_at(4);
+    let len = u32::from_le_bytes(head.try_into().expect("4-byte header")) as usize;
+    PackedBits::from_bytes(payload, len).expect("committed vector is well-formed")
+}
+
+/// Compares `bits` against the committed vector, or rewrites it when
+/// `JRSND_WIRE_REGEN=1`. Returns the committed frame for parse checks.
+fn check_vector(name: &str, bits: &PackedBits) -> PackedBits {
+    let path = vector_path(name);
+    let encoded = serialize(bits);
+    if std::env::var("JRSND_WIRE_REGEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("vectors dir")).expect("mkdir vectors");
+        std::fs::write(&path, &encoded).expect("write vector");
+    }
+    let committed = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!("missing golden vector {name}.bin ({e}); run with JRSND_WIRE_REGEN=1 to create")
+    });
+    assert_eq!(
+        committed, encoded,
+        "{name}: encoder output drifted from the committed golden vector — \
+         this is a wire-format break; bump the format version or fix the encoder"
+    );
+    deserialize(&committed)
+}
+
+fn legacy_packed(bits: &[bool]) -> PackedBits {
+    let mut out = PackedBits::new();
+    out.extend_from_bools(bits);
+    out
+}
+
+fn canonical_tag() -> AuthTag {
+    AuthTag(core::array::from_fn(|i| {
+        (i as u8).wrapping_mul(31).wrapping_add(5)
+    }))
+}
+
+fn canonical_request() -> MndpRequest {
+    MndpRequest {
+        source: NodeId(3),
+        nonce: Nonce::from_value(0x5_1234),
+        nu: 2,
+        chain: vec![
+            ChainEntry {
+                id: NodeId(3),
+                neighbors: vec![NodeId(10), NodeId(600)],
+                signature: IbSignature::from_parts(NodeId(3), [0x11; 32]),
+            },
+            ChainEntry {
+                id: NodeId(10),
+                neighbors: vec![],
+                signature: IbSignature::from_parts(NodeId(10), [0x22; 32]),
+            },
+        ],
+    }
+}
+
+fn canonical_response() -> MndpResponse {
+    let req = canonical_request();
+    MndpResponse {
+        source: req.source,
+        responder: NodeId(77),
+        nonce: Nonce::from_value(7),
+        nu: req.nu,
+        chain: vec![ChainEntry {
+            id: NodeId(77),
+            neighbors: vec![NodeId(3)],
+            signature: IbSignature::from_parts(NodeId(77), [0x33; 32]),
+        }],
+    }
+}
+
+#[test]
+fn hello_vectors_are_byte_stable() {
+    let cfg = cfg();
+    let mut packed = PackedBits::new();
+    encode_hello(&cfg, MessageKind::Hello, NodeId(0xBEE), &mut packed).unwrap();
+    let committed = check_vector("hello_packed", &packed);
+    let (kind, id) = parse_hello(&cfg, &mut BitCursor::new(&committed)).unwrap();
+    assert_eq!((kind, id), (MessageKind::Hello, NodeId(0xBEE)));
+
+    let legacy = cfg.encode_hello(MessageKind::Hello, NodeId(0xBEE)).unwrap();
+    let committed = check_vector("hello_legacy", &legacy_packed(&legacy));
+    let mut bools = Vec::new();
+    committed.write_bools_into(&mut bools);
+    assert_eq!(
+        cfg.decode_hello(&bools).unwrap(),
+        (MessageKind::Hello, NodeId(0xBEE))
+    );
+}
+
+#[test]
+fn auth_vectors_are_byte_stable() {
+    let cfg = cfg();
+    let tag = canonical_tag();
+    // A 7-bit id: packed AUTH beats legacy for typical ids, while the
+    // multi-group varint path is exercised by the 12-bit HELLO id above.
+    let (id, nonce) = (NodeId(0x42), Nonce::from_value(0xA_BCDE));
+    let mut packed = PackedBits::new();
+    encode_auth(&cfg, id, nonce, &tag, &mut packed).unwrap();
+    let committed = check_vector("auth_packed", &packed);
+    let (pid, pn, mac) = parse_auth(&cfg, &mut BitCursor::new(&committed)).unwrap();
+    assert_eq!((pid, pn), (id, nonce));
+    assert_eq!(mac, truncated_tag_value(&cfg, &tag).unwrap());
+
+    let legacy = cfg.encode_auth(id, nonce, &tag).unwrap();
+    let committed = check_vector("auth_legacy", &legacy_packed(&legacy));
+    let mut bools = Vec::new();
+    committed.write_bools_into(&mut bools);
+    let (lid, ln, ltag) = cfg.decode_auth(&bools).unwrap();
+    assert_eq!((lid, ln), (id, nonce));
+    assert_eq!(ltag, cfg.truncate_tag(&tag));
+}
+
+#[test]
+fn request_vectors_are_byte_stable() {
+    let cfg = cfg();
+    let req = canonical_request();
+    let mut packed = PackedBits::new();
+    encode_request(&cfg, &req, &mut packed).unwrap();
+    let committed = check_vector("request_packed", &packed);
+    assert_eq!(
+        parse_request(&cfg, &mut BitCursor::new(&committed)).unwrap(),
+        req
+    );
+
+    let legacy = cfg.encode_request(&req).unwrap();
+    let committed = check_vector("request_legacy", &legacy_packed(&legacy));
+    let mut bools = Vec::new();
+    committed.write_bools_into(&mut bools);
+    assert_eq!(cfg.decode_request(&bools).unwrap(), req);
+}
+
+#[test]
+fn response_vectors_are_byte_stable() {
+    let cfg = cfg();
+    let resp = canonical_response();
+    let mut packed = PackedBits::new();
+    encode_response(&cfg, &resp, &mut packed).unwrap();
+    let committed = check_vector("response_packed", &packed);
+    assert_eq!(
+        parse_response(&cfg, &mut BitCursor::new(&committed)).unwrap(),
+        resp
+    );
+
+    let legacy = cfg.encode_response(&resp).unwrap();
+    let committed = check_vector("response_legacy", &legacy_packed(&legacy));
+    let mut bools = Vec::new();
+    committed.write_bools_into(&mut bools);
+    assert_eq!(cfg.decode_response(&bools).unwrap(), resp);
+}
+
+/// The packed frames must stay strictly smaller than the legacy frames
+/// they replace — the headline airtime win this format exists for.
+#[test]
+fn packed_vectors_beat_legacy_sizes() {
+    for (packed, legacy) in [
+        ("hello_packed", "hello_legacy"),
+        ("auth_packed", "auth_legacy"),
+        ("request_packed", "request_legacy"),
+        ("response_packed", "response_legacy"),
+    ] {
+        let p = std::fs::read(vector_path(packed)).expect("packed vector");
+        let l = std::fs::read(vector_path(legacy)).expect("legacy vector");
+        let p_bits = u32::from_le_bytes(p[..4].try_into().unwrap());
+        let l_bits = u32::from_le_bytes(l[..4].try_into().unwrap());
+        assert!(
+            p_bits < l_bits,
+            "{packed}: {p_bits} bits should beat {legacy}'s {l_bits}"
+        );
+    }
+}
